@@ -1,0 +1,54 @@
+"""Shared helpers for the paper-artifact benchmarks.
+
+Each benchmark regenerates one table or figure from the paper, prints the
+rows, writes them under ``benchmarks/results/``, and asserts the paper's
+qualitative shape.  Select the experiment scale with::
+
+    REPRO_BENCH_SCALE=small|medium|full pytest benchmarks/ --benchmark-only
+
+(default: medium).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import FULL, MEDIUM, SMALL
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALES = {"small": SMALL, "medium": MEDIUM, "full": FULL}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "medium").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Writer: artifact('fig4', text) -> benchmarks/results/fig4.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def shared_traces(scale):
+    """The three Azure-like trace samples, generated once per session."""
+    from repro.experiments import make_traces
+
+    return make_traces(scale)

@@ -1,0 +1,32 @@
+"""Full-stack cluster study benchmark (everything composed)."""
+
+from repro.experiments import format_table, run_cluster_study
+
+
+def test_cluster_trace_study(benchmark, scale, artifact, shared_traces):
+    result = benchmark.pedantic(
+        lambda: run_cluster_study(scale, trace=shared_traces["representative"]),
+        rounds=1, iterations=1,
+    )
+    per_worker = [
+        {"worker": name, "invocations": count}
+        for name, count in sorted(result.per_worker_invocations.items())
+    ]
+    artifact(
+        "cluster_study",
+        format_table([result.as_dict()], title="Cluster study — summary")
+        + "\n\n"
+        + format_table(per_worker, title="Per-worker placement"),
+    )
+
+    # The cluster digests the workload: nothing (or almost nothing) shed
+    # at 60% provisioned load.
+    assert result.drop_ratio < 0.01
+    # Keep-alive works at cluster scale: most invocations run warm.
+    assert result.cold_ratio < 0.5
+    # CH-BL keeps locality while still spreading load: every worker took
+    # part, and spillover forwards occurred under bursts.
+    assert all(count > 0 for count in result.per_worker_invocations.values())
+    assert result.placements == result.invocations
+    # The load-fitting hit its Little's-law target (0.6 * 4 workers * 8 cores).
+    assert abs(result.total_load - 19.2) < 0.5

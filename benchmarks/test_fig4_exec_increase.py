@@ -1,0 +1,62 @@
+"""Figure 4 benchmark: % increase in execution time vs cache size.
+
+Paper shapes asserted:
+* representative — GD reduces cold-start overhead >=3x vs TTL across the
+  mid/large cache sizes, and reaches its floor at a much smaller cache;
+* rare — caching policies (LRU) beat TTL ~2x at large sizes, HIST sits
+  between TTL and the caching family;
+* random — recency dominates; LRU among the best.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_rows, format_table, run_keepalive_sweep
+
+
+def _get(rows, trace, policy, gb):
+    for r in rows:
+        if (r["trace"], r["policy"], r["cache_gb"]) == (trace, policy, gb):
+            return r["exec_increase_pct"]
+    raise KeyError((trace, policy, gb))
+
+
+def test_fig4_exec_time_increase(benchmark, scale, artifact, shared_traces):
+    results = benchmark.pedantic(
+        lambda: run_keepalive_sweep(scale, traces=shared_traces),
+        rounds=1, iterations=1,
+    )
+    rows = fig4_rows(results)
+    artifact(
+        "fig4_exec_increase",
+        format_table(rows, title="Figure 4 — % increase in execution time"),
+    )
+
+    sizes = scale.cache_sizes_gb
+    large = [gb for gb in sizes if gb >= np.median(sizes)]
+
+    # Representative: GD >= 3x better than TTL somewhere in the sweep and
+    # never meaningfully worse.
+    ratios = []
+    for gb in large:
+        ttl = _get(rows, "representative", "TTL", gb)
+        gd = _get(rows, "representative", "GD", gb)
+        assert gd <= ttl * 1.05
+        if gd > 0:
+            ratios.append(ttl / gd)
+    assert max(ratios) >= 3.0 or any(
+        _get(rows, "representative", "GD", gb) < 0.5 for gb in large
+    )
+
+    # Rare: LRU ~2x better than TTL at the largest cache size.
+    big = max(sizes)
+    assert _get(rows, "rare", "LRU", big) <= _get(rows, "rare", "TTL", big) / 1.5
+    # HIST between TTL and caching-based policies on rare.
+    hist = _get(rows, "rare", "HIST", big)
+    assert hist <= _get(rows, "rare", "TTL", big) * 1.05
+    assert hist >= _get(rows, "rare", "GD", big) * 0.95
+
+    # Random: LRU within 25% of the best policy at the largest size.
+    best = min(
+        _get(rows, "random", p, big) for p in ("TTL", "LRU", "GD", "LND", "FREQ")
+    )
+    assert _get(rows, "random", "LRU", big) <= best * 1.25 + 0.1

@@ -1,0 +1,53 @@
+"""Figure 5 benchmark: cold-start (miss) fraction vs cache size.
+
+Same sweep as Figure 4, reported as miss-ratio curves.  Shapes: miss
+fractions fall with cache size for work-conserving policies; TTL flattens
+(non-work-conserving); LRU ≈ TTL equivalence on rare-object workloads at
+small sizes, diverging once the cache can hold the reuse distance.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5_rows, format_table, run_keepalive_sweep
+
+
+def _get(rows, trace, policy, gb):
+    for r in rows:
+        if (r["trace"], r["policy"], r["cache_gb"]) == (trace, policy, gb):
+            return r["cold_fraction"]
+    raise KeyError((trace, policy, gb))
+
+
+def test_fig5_cold_start_fraction(benchmark, scale, artifact, shared_traces):
+    results = benchmark.pedantic(
+        lambda: run_keepalive_sweep(scale, traces=shared_traces),
+        rounds=1, iterations=1,
+    )
+    rows = fig5_rows(results)
+    artifact(
+        "fig5_cold_fraction",
+        format_table(rows, title="Figure 5 — cold-start fraction"),
+    )
+
+    sizes = sorted(scale.cache_sizes_gb)
+    big, small = sizes[-1], sizes[0]
+
+    for r in rows:
+        assert 0.0 <= r["cold_fraction"] <= 1.0
+
+    # Work-conserving policies improve (weakly) with cache size.
+    for trace in ("representative", "rare", "random"):
+        for policy in ("LRU", "GD", "LND", "FREQ"):
+            assert _get(rows, trace, policy, big) <= _get(
+                rows, trace, policy, small
+            ) + 0.02
+
+    # TTL saturates: beyond some size, more memory stops helping it while
+    # LRU keeps improving (the rare-object divergence).
+    assert _get(rows, "rare", "LRU", big) < _get(rows, "rare", "TTL", big)
+
+    # At the smallest cache, TTL ~ LRU (classic equivalence for rare
+    # objects under pressure).
+    assert abs(
+        _get(rows, "rare", "TTL", small) - _get(rows, "rare", "LRU", small)
+    ) < 0.05

@@ -1,0 +1,30 @@
+"""Figure 6 benchmark: FaasCache vs OpenWhisk on skewed workloads."""
+
+from repro.experiments import format_table, run_litmus
+
+
+def test_fig6_litmus_tests(benchmark, scale, artifact):
+    results = benchmark.pedantic(
+        lambda: run_litmus(scale), rounds=1, iterations=1
+    )
+    rows = [r.as_dict() for r in results]
+    artifact(
+        "fig6_litmus",
+        format_table(rows, title="Figure 6 — warm/cold/dropped per system"),
+    )
+
+    by_key = {(r.workload, r.system): r for r in results}
+    # Aggregate direction across the litmus suite: FaasCache serves more
+    # and sheds less (paper: 50-100% more warm+cold, ~2x total served).
+    fc_served = sum(r.served for r in results if r.system == "faascache")
+    ow_served = sum(r.served for r in results if r.system == "openwhisk")
+    fc_dropped = sum(r.dropped for r in results if r.system == "faascache")
+    ow_dropped = sum(r.dropped for r in results if r.system == "openwhisk")
+    assert fc_served > ow_served
+    assert fc_dropped < ow_dropped
+
+    # The skewed-frequency workload individually shows the win.
+    skew_fc = by_key[("skew_frequency", "faascache")]
+    skew_ow = by_key[("skew_frequency", "openwhisk")]
+    assert skew_fc.warm >= skew_ow.warm
+    assert skew_fc.served >= skew_ow.served

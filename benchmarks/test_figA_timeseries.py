@@ -1,0 +1,41 @@
+"""Appendix-figure benchmark: invocations/sec timeseries of the traces."""
+
+import numpy as np
+
+from repro.experiments import appendix_timeseries, format_table
+
+
+def test_appendix_trace_timeseries(benchmark, scale, artifact):
+    series = benchmark.pedantic(
+        lambda: appendix_timeseries(scale), rounds=1, iterations=1
+    )
+    rows = []
+    for name, arr in series.items():
+        rows.append(
+            {
+                "trace": name,
+                "bins": arr.size,
+                "mean_rps": float(arr.mean()),
+                "peak_rps": float(arr.max()),
+                "p10_rps": float(np.percentile(arr, 10)),
+            }
+        )
+    artifact(
+        "figA_timeseries",
+        format_table(rows, title="Appendix — invocations/sec per trace"),
+    )
+
+    # The full trace dominates every sample.
+    by_name = {r["trace"]: r for r in rows}
+    for sample in ("representative", "rare", "random"):
+        assert by_name[sample]["mean_rps"] <= by_name["full"]["mean_rps"]
+    # Diurnal wave: the full trace's peak is well above its 10th pct.
+    assert by_name["full"]["peak_rps"] > 1.5 * max(by_name["full"]["p10_rps"], 0.01)
+    # The representative sample inherits the diurnal shape (paper: it
+    # captures the full trace's daily pattern).
+    rep = series["representative"]
+    full = series["full"]
+    n = min(rep.size, full.size)
+    if rep[:n].std() > 0 and full[:n].std() > 0:
+        corr = float(np.corrcoef(rep[:n], full[:n])[0, 1])
+        assert corr > 0.2

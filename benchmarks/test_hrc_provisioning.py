@@ -1,0 +1,54 @@
+"""Hit-ratio-curve provisioning benchmark (the abstract's second claim).
+
+The paper's abstract: reuse distances and hit-ratio curves "can also be
+used for auto-scaled server resource provisioning".  This benchmark
+computes the representative trace's HRC analytically, asks it for the
+cache size meeting a cold-ratio target, and validates the recommendation
+against the keep-alive simulator — the static, one-pass counterpart of
+Figure 8's feedback controller.
+"""
+
+from repro.experiments import format_table
+from repro.keepalive import hit_ratio_curve, recommend_cache_size, simulate
+
+
+def test_hrc_based_provisioning(benchmark, scale, artifact, shared_traces):
+    trace = shared_traces["representative"]
+
+    def analyze():
+        curve = hit_ratio_curve(trace)
+        targets = (0.30, 0.20, 0.10)
+        rows = []
+        for target in targets:
+            size = recommend_cache_size(trace, target_cold_ratio=target)
+            row = {"target_cold_ratio": target, "recommended_mb": size}
+            if size is not None:
+                sim = simulate(trace, "LRU", size)
+                row["simulated_cold_ratio"] = sim.cold_ratio
+            rows.append(row)
+        return curve, rows
+
+    curve, rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    artifact(
+        "hrc_provisioning",
+        format_table(rows, title="HRC-recommended cache sizes vs simulation")
+        + f"\n\ncompulsory miss ratio: {curve.compulsory_miss_ratio:.4f}",
+    )
+
+    # The curve is a valid monotone CDF-like object.
+    assert 0 <= curve.compulsory_miss_ratio < 1
+    assert all(b >= a - 1e-12 for a, b in
+               zip(curve.hit_ratios, curve.hit_ratios[1:]))
+
+    # Recommendations are achievable and verified: the LRU simulation at
+    # the recommended size lands within a small tolerance of the target
+    # (concurrency effects are the only divergence source).
+    for row in rows:
+        if row["recommended_mb"] is None:
+            assert row["target_cold_ratio"] < curve.compulsory_miss_ratio
+            continue
+        assert row["simulated_cold_ratio"] <= row["target_cold_ratio"] + 0.03
+
+    # Tighter targets cost monotonically more memory.
+    sizes = [r["recommended_mb"] for r in rows if r["recommended_mb"]]
+    assert sizes == sorted(sizes)

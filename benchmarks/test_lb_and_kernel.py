@@ -1,0 +1,84 @@
+"""Load-balancer ablation and control-plane throughput benchmarks.
+
+Two extension benchmarks beyond the paper's figures:
+
+* CH-BL bound-factor sensitivity — the locality/spillover tradeoff the
+  design section argues about;
+* control-plane throughput — how many invocations per wall-second the
+  Python reproduction pushes through the full worker path with the null
+  backend (the paper's "each worker can simulate 100s of cores" claim,
+  measured for this implementation).
+"""
+
+import time
+
+from repro import Environment, Worker, WorkerConfig
+from repro.experiments import format_table
+from repro.experiments.lb_ablation import run_lb_ablation, run_lb_policy_comparison
+from repro.workloads import lookbusy_function
+
+
+def test_chbl_bound_factor_ablation(benchmark, artifact):
+    rows = benchmark.pedantic(
+        lambda: run_lb_ablation(), rounds=1, iterations=1
+    )
+    artifact(
+        "ablation_chbl_bound",
+        format_table(rows, title="CH-BL bound-factor ablation"),
+    )
+    by_factor = {r["bound_factor"]: r for r in rows}
+    # Tighter bounds forward more (weakly monotone).
+    assert by_factor[1.0]["forwards"] >= by_factor[2.0]["forwards"]
+    # Looser bounds preserve (or improve) locality.
+    assert by_factor[2.0]["warm_ratio"] >= by_factor[1.0]["warm_ratio"] - 0.05
+    for r in rows:
+        assert r["completed"] > 0
+
+
+def test_lb_policy_comparison(benchmark, artifact):
+    rows = benchmark.pedantic(
+        lambda: run_lb_policy_comparison(), rounds=1, iterations=1
+    )
+    artifact(
+        "ablation_lb_policies",
+        format_table(rows, title="LB policy comparison (locality effect)"),
+    )
+    by_policy = {r["policy"]: r for r in rows}
+    # CH-BL's locality yields a higher warm ratio than round-robin.
+    assert by_policy["ch_bl"]["warm_ratio"] > by_policy["round_robin"]["warm_ratio"]
+    for r in rows:
+        assert r["completed"] > 0
+
+
+def test_control_plane_throughput(benchmark, artifact):
+    """Wall-clock throughput of the full invoke path (null backend)."""
+
+    def drive(n_invocations: int = 4000) -> float:
+        env = Environment()
+        worker = Worker(
+            env,
+            WorkerConfig(cores=512, memory_mb=262_144.0, backend="null",
+                         bypass_enabled=False),
+        )
+        worker.start()
+        f = lookbusy_function("tp", run_time=0.01, memory_mb=64.0)
+        worker.register_sync(f)
+        start = time.perf_counter()
+        events = [worker.async_invoke("tp.1") for _ in range(n_invocations)]
+        env.run(until=600.0)
+        elapsed = time.perf_counter() - start
+        worker.stop()
+        assert all(e.triggered and not e.value.dropped for e in events)
+        return n_invocations / elapsed
+
+    throughput = benchmark.pedantic(drive, rounds=1, iterations=1)
+    artifact(
+        "kernel_throughput",
+        format_table(
+            [{"invocations_per_wall_second": throughput}],
+            title="Control-plane throughput (null backend, 512 simulated cores)",
+        ),
+    )
+    # The in-situ simulator must sustain hundreds of invocations per
+    # wall-second for cluster-scale studies to be practical.
+    assert throughput > 200.0

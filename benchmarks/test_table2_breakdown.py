@@ -1,0 +1,24 @@
+"""Table 2 benchmark: per-component latency of a warm invocation."""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE2_MS, format_table, run_table2
+
+
+def test_table2_latency_breakdown(benchmark, artifact):
+    rows = benchmark.pedantic(
+        lambda: run_table2(warm_invocations=500), rounds=1, iterations=1
+    )
+    artifact(
+        "table2_breakdown",
+        format_table(rows, title="Table 2 — worker component latency (ms)"),
+    )
+    by_fn = {r["function"]: r["time"] for r in rows}
+    # Agent communication dominates, as in the paper.
+    canonical = {k: v for k, v in by_fn.items() if k in PAPER_TABLE2_MS}
+    assert max(canonical, key=canonical.get) == "call_container"
+    # Every modeled component lands near the paper's measured mean.
+    for name, paper_ms in PAPER_TABLE2_MS.items():
+        assert by_fn[name] == pytest.approx(paper_ms, rel=0.35)
+    # Total warm control-plane time ~2-3 ms (paper: "about 3 ms").
+    assert 1.0 < sum(canonical.values()) < 5.0

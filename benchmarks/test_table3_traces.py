@@ -1,0 +1,28 @@
+"""Table 3 benchmark: trace-sample statistics (and paper comparison)."""
+
+from repro.experiments import PAPER_TABLE3, format_table
+from repro.trace.analysis import popularity_skew
+
+
+def test_table3_trace_statistics(benchmark, scale, artifact, shared_traces):
+    def compute():
+        return [shared_traces[n].stats_row()
+                for n in ("representative", "rare", "random")]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for row, paper in zip(rows, PAPER_TABLE3):
+        row["paper_invocations"] = paper["num_invocations"]
+        row["paper_reqs_per_sec"] = paper["reqs_per_sec"]
+    artifact("table3_traces", format_table(rows, title="Table 3 — trace samples"))
+
+    by_name = {r["trace"]: r for r in rows}
+    # Ordering property from the paper: the rare sample is by far the
+    # lightest load; its average IAT is the largest.
+    assert by_name["rare"]["reqs_per_sec"] < by_name["representative"]["reqs_per_sec"]
+    assert by_name["rare"]["avg_iat_ms"] > by_name["representative"]["avg_iat_ms"]
+    for row in rows:
+        assert row["num_invocations"] > 1000
+
+    # Azure-like skew: the representative sample's top functions dominate.
+    rep = shared_traces["representative"]
+    assert popularity_skew(rep, top_fraction=0.10) > 0.5

@@ -1,0 +1,28 @@
+"""Table 4 benchmark: FunctionBench application characteristics."""
+
+from repro.experiments import format_table, table4_rows
+from repro.workloads import FUNCTIONBENCH
+
+# The paper's Table 4, verbatim (memory MB, run s, init s).
+PAPER_TABLE4 = {
+    "ml_inference": (512.0, 6.5, 4.5),
+    "video_encoding": (500.0, 56.0, 3.0),
+    "matrix_multiply": (256.0, 2.5, 2.2),
+    "disk_bench": (256.0, 2.2, 1.8),
+    "image_manip": (300.0, 9.0, 6.0),
+    "web_serving": (64.0, 2.4, 2.0),
+    "float_op": (128.0, 2.0, 1.7),
+}
+
+
+def test_table4_workload_catalog(benchmark, artifact):
+    rows = benchmark.pedantic(table4_rows, rounds=1, iterations=1)
+    artifact(
+        "table4_workloads",
+        format_table(rows, title="Table 4 — FunctionBench characteristics"),
+    )
+    for key, (mem, run, init) in PAPER_TABLE4.items():
+        bench = FUNCTIONBENCH[key]
+        assert bench.memory_mb == mem
+        assert bench.run_time == run
+        assert bench.init_time == init

@@ -1,0 +1,82 @@
+"""In-situ simulation at scale: one worker "simulating" hundreds of cores.
+
+The paper's null container backend turns invocations into sleeps while
+every other control-plane code path runs unchanged, so a single process
+can evaluate queueing policies at cluster scale.  This demo runs the same
+bursty workload under all four queue disciplines on a simulated 256-core
+worker and compares tail latencies.
+
+Run:  python examples/insitu_simulation.py
+"""
+
+import numpy as np
+
+from repro import Environment, Worker, WorkerConfig
+from repro.experiments import print_table
+from repro.loadgen import FunctionMix, build_plan, replay_plan
+from repro.sim.distributions import Exponential, LogNormal
+from repro.workloads import lookbusy_population
+
+
+def run_policy(policy: str) -> dict:
+    env = Environment()
+    worker = Worker(
+        env,
+        WorkerConfig(
+            name=f"sim-{policy}",
+            cores=128,                # far beyond a test machine: in-situ
+            memory_mb=262_144.0,      # simulation costs only control plane
+            backend="null",
+            queue_policy=policy,
+            bypass_enabled=False,
+            seed=17,
+        ),
+    )
+    worker.start()
+
+    # Sized so the offered load hovers around the worker's capacity —
+    # that is where queue disciplines actually differ.
+    functions = lookbusy_population(
+        120,
+        run_time_dist=LogNormal(mu=-0.3, sigma=1.2),  # ~0.1 s - 15 s spread
+        memory_dist=LogNormal(mu=5.0, sigma=0.7),
+        init_fraction=1.0,
+        seed=17,
+    )
+    mixes = []
+    rng = np.random.default_rng(17)
+    for f in functions:
+        worker.register_sync(f)
+        mixes.append(FunctionMix(f.fqdn(), Exponential(float(rng.uniform(0.5, 3.0)))))
+    plan = build_plan(mixes, duration=300.0, seed=17)
+
+    invocations = replay_plan(env, worker, plan, grace=120.0)
+    worker.stop()
+    done = [i for i in invocations if not i.dropped and i.completed_at]
+    e2e = np.array([i.e2e_time for i in done]) * 1000.0
+    queue_ms = np.array([i.queue_time for i in done]) * 1000.0
+    return {
+        "policy": policy,
+        "invocations": len(done),
+        "cold": sum(1 for i in done if i.cold),
+        "e2e_p50_ms": float(np.percentile(e2e, 50)),
+        "e2e_p99_ms": float(np.percentile(e2e, 99)),
+        "queue_p99_ms": float(np.percentile(queue_ms, 99)),
+    }
+
+
+def main() -> None:
+    rows = [run_policy(p) for p in ("fcfs", "sjf", "eedf", "rare")]
+    print_table(rows, title="Queue disciplines on a simulated 128-core worker")
+    by = {r["policy"]: r for r in rows}
+    print(
+        f"\nclassic tradeoff under overload: SJF cuts the median "
+        f"{by['fcfs']['e2e_p50_ms'] / by['sjf']['e2e_p50_ms']:.0f}x vs FCFS "
+        f"(at a starvation-inflated tail), while EEDF balances both "
+        f"(median {by['fcfs']['e2e_p50_ms'] / by['eedf']['e2e_p50_ms']:.1f}x "
+        f"better than FCFS, tail comparable)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a Python reproduction of "Ilúvatar: A Fast Control Plane for
+Serverless Computing" (HPDC '23), including the FaasCache caching-based
+keep-alive evaluation embedded in the paper's experimental section.
+
+Public API tour
+---------------
+
+Control plane (the Ilúvatar half)::
+
+    from repro import Environment, Worker, WorkerConfig, FunctionRegistration
+
+    env = Environment()
+    worker = Worker(env, WorkerConfig(backend="null"))
+    worker.start()
+    worker.register_sync(FunctionRegistration(name="hello", warm_time=0.05,
+                                              cold_time=0.5))
+    inv = env.run_process(worker.invoke("hello.1"))
+    print(inv.e2e_time, inv.overhead, inv.cold)
+
+Keep-alive (the FaasCache half)::
+
+    from repro.trace import generate_dataset, sample_representative
+    from repro.keepalive import simulate
+
+    trace = sample_representative(generate_dataset())
+    result = simulate(trace, "GD", cache_size_mb=20 * 1024)
+    print(result.cold_ratio, result.exec_increase_pct)
+"""
+
+from .core.config import WorkerConfig, WorkerLatencyProfile, load_config
+from .core.function import FunctionRegistration, Invocation, InvocationResult
+from .core.worker import Worker
+from .errors import (
+    ConfigurationError,
+    ContainerError,
+    DuplicateRegistration,
+    FunctionNotRegistered,
+    InsufficientResources,
+    InvocationDropped,
+    ReproError,
+)
+from .sim.core import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WorkerConfig",
+    "WorkerLatencyProfile",
+    "load_config",
+    "FunctionRegistration",
+    "Invocation",
+    "InvocationResult",
+    "Worker",
+    "Environment",
+    "ConfigurationError",
+    "ContainerError",
+    "DuplicateRegistration",
+    "FunctionNotRegistered",
+    "InsufficientResources",
+    "InvocationDropped",
+    "ReproError",
+    "__version__",
+]

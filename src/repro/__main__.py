@@ -1,0 +1,12 @@
+"""``python -m repro`` — the experiment CLI."""
+
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:  # e.g. `python -m repro table4 | head`
+    sys.stderr.close()
+    code = 0
+sys.exit(code)

@@ -1,0 +1,14 @@
+"""Baseline control planes: the OpenWhisk model (and FaasCache variant)."""
+
+from .components import ControllerModel, CouchDBModel, GCModel, KafkaModel, NginxModel
+from .openwhisk import OpenWhiskConfig, OpenWhiskWorker
+
+__all__ = [
+    "ControllerModel",
+    "CouchDBModel",
+    "GCModel",
+    "KafkaModel",
+    "NginxModel",
+    "OpenWhiskConfig",
+    "OpenWhiskWorker",
+]

@@ -1,0 +1,186 @@
+"""Command-line entry point: run any paper experiment from a shell.
+
+Examples::
+
+    python -m repro fig1 --scale small
+    python -m repro fig4 --scale medium
+    python -m repro table2
+    python -m repro fig8
+    python -m repro litmus --workloads skew_frequency
+    python -m repro ablation --which queue
+    python -m repro export-azure --out /tmp/azure-day --functions 1000
+
+Every command prints the paper-style table to stdout; ``--scale`` selects
+the experiment sizing (small/medium/full).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    FULL,
+    MEDIUM,
+    SMALL,
+    fig1_rows,
+    fig4_rows,
+    fig5_rows,
+    fig6_rows,
+    fig7_rows,
+    format_table,
+    make_traces,
+    run_bypass_ablation,
+    run_coldpath_ablation,
+    run_fig8,
+    run_keepalive_sweep,
+    run_queue_policy_ablation,
+    run_regulator_ablation,
+    run_table2,
+    table3_rows,
+    table4_rows,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {"small": SMALL, "medium": MEDIUM, "full": FULL}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Ilúvatar/FaasCache paper artifacts.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="experiment sizing (default: small; benches use medium)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="control-plane overhead vs concurrency")
+    table2 = sub.add_parser("table2", help="worker latency breakdown")
+    table2.add_argument("--invocations", type=int, default=200)
+    sub.add_parser("table3", help="trace-sample statistics")
+    sub.add_parser("table4", help="FunctionBench catalog")
+    sub.add_parser("fig4", help="keep-alive sweep: execution-time increase")
+    sub.add_parser("fig5", help="keep-alive sweep: cold-start fraction")
+    litmus = sub.add_parser("litmus", help="Fig 6: FaasCache vs OpenWhisk")
+    litmus.add_argument(
+        "--workloads", nargs="+",
+        default=["skew_frequency", "cyclic", "two_size"],
+    )
+    sub.add_parser("fig7", help="per-function breakdown")
+    sub.add_parser("fig8", help="dynamic cache sizing")
+    ablation = sub.add_parser("ablation", help="design-choice ablations")
+    ablation.add_argument(
+        "--which",
+        choices=["queue", "bypass", "regulator", "coldpath", "all"],
+        default="all",
+    )
+    hrc = sub.add_parser(
+        "hrc", help="hit-ratio-curve provisioning recommendation"
+    )
+    hrc.add_argument("--target-cold-ratio", type=float, default=0.10)
+    sub.add_parser("cluster-study", help="full-stack cluster trace study")
+    export = sub.add_parser(
+        "export-azure", help="write a synthetic dataset in the Azure CSV schema"
+    )
+    export.add_argument("--out", required=True)
+    export.add_argument("--functions", type=int, default=2000)
+    export.add_argument("--minutes", type=int, default=1440)
+    export.add_argument("--seed", type=int, default=0xFAA5)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = _SCALES[args.scale]
+    out = []
+
+    if args.command == "fig1":
+        out.append(format_table(fig1_rows(scale), title="Figure 1"))
+    elif args.command == "table2":
+        out.append(
+            format_table(run_table2(args.invocations), title="Table 2 (ms)")
+        )
+    elif args.command == "table3":
+        out.append(format_table(table3_rows(scale), title="Table 3"))
+    elif args.command == "table4":
+        out.append(format_table(table4_rows(), title="Table 4"))
+    elif args.command in ("fig4", "fig5"):
+        results = run_keepalive_sweep(scale)
+        rows = fig4_rows(results) if args.command == "fig4" else fig5_rows(results)
+        title = "Figure 4" if args.command == "fig4" else "Figure 5"
+        out.append(format_table(rows, title=title))
+    elif args.command == "litmus":
+        out.append(
+            format_table(
+                fig6_rows(scale, workloads=tuple(args.workloads)),
+                title="Figure 6",
+            )
+        )
+    elif args.command == "fig7":
+        out.append(format_table(fig7_rows(scale), title="Figure 7"))
+    elif args.command == "fig8":
+        outcome = run_fig8(scale)
+        out.append(format_table([outcome.as_dict()], title="Figure 8"))
+    elif args.command == "ablation":
+        which = args.which
+        if which in ("queue", "all"):
+            out.append(format_table(run_queue_policy_ablation(),
+                                    title="Queue disciplines"))
+        if which in ("bypass", "all"):
+            out.append(format_table(run_bypass_ablation(), title="Bypass"))
+        if which in ("regulator", "all"):
+            out.append(format_table(run_regulator_ablation(), title="Regulator"))
+        if which in ("coldpath", "all"):
+            out.append(format_table(run_coldpath_ablation(), title="Cold path"))
+    elif args.command == "hrc":
+        from .keepalive import hit_ratio_curve, recommend_cache_size
+
+        trace = make_traces(scale)["representative"]
+        curve = hit_ratio_curve(trace)
+        rows = [
+            {"cache_gb": gb,
+             "predicted_warm_pct": 100 * curve.hit_ratio_at(gb * 1024.0)}
+            for gb in (1, 2, 4, 8, 16, 32)
+        ]
+        size = recommend_cache_size(trace, args.target_cold_ratio)
+        out.append(format_table(rows, title="Hit-ratio curve"))
+        out.append(
+            f"smallest cache for <= {args.target_cold_ratio:.0%} cold: "
+            f"{'unreachable' if size is None else f'{size:,.0f} MB'}"
+        )
+    elif args.command == "cluster-study":
+        from .experiments import run_cluster_study
+
+        result = run_cluster_study(scale)
+        out.append(format_table([result.as_dict()], title="Cluster study"))
+    elif args.command == "export-azure":
+        from .trace.azure import AzureTraceConfig, generate_dataset
+        from .trace.azure_io import write_azure_csvs
+
+        dataset = generate_dataset(
+            AzureTraceConfig(
+                num_functions=args.functions,
+                duration_minutes=args.minutes,
+                seed=args.seed,
+            )
+        )
+        path = write_azure_csvs(dataset, args.out)
+        out.append(
+            f"wrote {dataset.total_invocations()} invocations / "
+            f"{len(dataset.counts)} functions to {path}"
+        )
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(2)
+
+    print("\n\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Container substrate: backends, agent, namespace pool, images."""
+
+from .agent import Agent, HttpClientPool
+from .backends import (
+    ContainerdBackend,
+    CrunBackend,
+    DockerBackend,
+    NullBackend,
+    SimulatedBackend,
+    make_backend,
+)
+from .base import BackendLatency, Container, ContainerBackend, ContainerState
+from .image import ImageLayer, ImageManifest, ImageRegistry
+from .latency import (
+    AGENT_HTTP_LATENCY,
+    CONTAINERD_LATENCY,
+    CRUN_LATENCY,
+    DOCKER_LATENCY,
+    NAMESPACE_CREATE_LATENCY,
+)
+from .namespace_pool import NamespacePool
+
+__all__ = [
+    "Agent",
+    "HttpClientPool",
+    "ContainerdBackend",
+    "CrunBackend",
+    "DockerBackend",
+    "NullBackend",
+    "SimulatedBackend",
+    "make_backend",
+    "BackendLatency",
+    "Container",
+    "ContainerBackend",
+    "ContainerState",
+    "ImageLayer",
+    "ImageManifest",
+    "ImageRegistry",
+    "AGENT_HTTP_LATENCY",
+    "CONTAINERD_LATENCY",
+    "CRUN_LATENCY",
+    "DOCKER_LATENCY",
+    "NAMESPACE_CREATE_LATENCY",
+    "NamespacePool",
+]

@@ -1,0 +1,251 @@
+"""Concrete container backends: containerd, Docker, and the null backend.
+
+All three drive the same lifecycle (create → agent start → invoke* →
+destroy); they differ only in their latency profiles — and the null
+backend, used for in-situ simulation, replaces backend API calls with
+internal no-ops, exactly as the paper describes ("API calls to containerd
+are replaced with internal dummy function calls, and function invocations
+are converted to sleep statements").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..core.function import FunctionRegistration
+from ..sim.core import Environment
+from .agent import Agent
+from .base import BackendLatency, Container, ContainerBackend, ContainerState
+from .latency import (
+    AGENT_HTTP_LATENCY,
+    CONTAINERD_LATENCY,
+    CRUN_LATENCY,
+    DOCKER_LATENCY,
+    NAMESPACE_CREATE_LATENCY,
+)
+
+__all__ = [
+    "SimulatedBackend",
+    "ContainerdBackend",
+    "DockerBackend",
+    "CrunBackend",
+    "NullBackend",
+    "make_backend",
+]
+
+
+class SimulatedBackend(ContainerBackend):
+    """Shared implementation: a latency-modelled container runtime."""
+
+    name = "simulated"
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: BackendLatency,
+        rng: Optional[np.random.Generator] = None,
+        namespace_create_latency: float = NAMESPACE_CREATE_LATENCY,
+        agent_http_latency: float = AGENT_HTTP_LATENCY,
+    ):
+        super().__init__(env)
+        self.latency = latency
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.namespace_create_latency = float(namespace_create_latency)
+        self.agent_http_latency = float(agent_http_latency)
+        self._agents: dict[str, Agent] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def create(
+        self,
+        registration: FunctionRegistration,
+        namespace: Optional[str] = None,
+    ) -> Generator:
+        lat = self.latency
+        container = Container(registration, self, self.env.now, namespace=namespace)
+        # RPC to the (out-of-process) containerization daemon.
+        yield self.env.timeout(lat.rpc_overhead)
+        # Network namespace: free if pooled, ~100 ms if created inline.
+        if namespace is None:
+            yield self.env.timeout(self.namespace_create_latency)
+        # Sandbox creation with an exponential contention tail.
+        create_cost = lat.create_mean
+        if lat.create_jitter > 0:
+            create_cost += float(self.rng.exponential(lat.create_jitter))
+        yield self.env.timeout(create_cost)
+        container.state = ContainerState.UNHEALTHY
+        # Agent boots inside the sandbox; readiness via inotify callback.
+        agent = Agent(self.env, self.rng, http_latency=self.agent_http_latency)
+        self._agents[container.id] = agent
+        yield self.env.process(agent.start(lat.agent_start))
+        container.state = ContainerState.AVAILABLE
+        self.created += 1
+        return container
+
+    def agent_of(self, container: Container) -> Agent:
+        agent = self._agents.get(container.id)
+        if agent is None:
+            raise KeyError(f"no agent for container {container.id}")
+        return agent
+
+    def invoke(self, container: Container, exec_time: float) -> Generator:
+        if container.state not in (ContainerState.AVAILABLE, ContainerState.RUNNING):
+            raise RuntimeError(
+                f"cannot invoke container in state {container.state.value}"
+            )
+        agent = self.agent_of(container)
+        container.state = ContainerState.RUNNING
+        cold_handshake = container.invocations == 0
+        try:
+            result = yield self.env.process(
+                agent.invoke(exec_time, cold_handshake=cold_handshake)
+            )
+        finally:
+            container.state = ContainerState.AVAILABLE
+        container.invocations += 1
+        container.last_used = self.env.now
+        return result
+
+    def destroy(self, container: Container) -> Generator:
+        if container.state == ContainerState.DESTROYED:
+            return None
+        yield self.env.timeout(self.latency.rpc_overhead + self.latency.destroy_mean)
+        container.state = ContainerState.DESTROYED
+        self._agents.pop(container.id, None)
+        self.destroyed += 1
+        return None
+
+    def restore(
+        self,
+        registration: FunctionRegistration,
+        restore_latency: float,
+        namespace: Optional[str] = None,
+    ) -> Generator:
+        """Create a container from a snapshot: one restore cost replaces
+        the create + agent-boot sequence (the agent comes back already
+        running inside the restored sandbox)."""
+        if restore_latency < 0:
+            raise ValueError("restore_latency must be non-negative")
+        container = Container(registration, self, self.env.now, namespace=namespace)
+        yield self.env.timeout(self.latency.rpc_overhead + restore_latency)
+        if namespace is None:
+            yield self.env.timeout(self.namespace_create_latency)
+        agent = Agent(self.env, self.rng, http_latency=self.agent_http_latency)
+        agent.ready = True
+        self._agents[container.id] = agent
+        container.state = ContainerState.AVAILABLE
+        self.created += 1
+        return container
+
+
+class ContainerdBackend(SimulatedBackend):
+    """Default backend (the paper's choice): OCI via containerd RPC."""
+
+    name = "containerd"
+
+    def __init__(self, env: Environment, rng: Optional[np.random.Generator] = None, **kw):
+        super().__init__(env, CONTAINERD_LATENCY, rng=rng, **kw)
+
+
+class DockerBackend(SimulatedBackend):
+    """Docker backend: feature-rich, slowest creates (~400 ms)."""
+
+    name = "docker"
+
+    def __init__(self, env: Environment, rng: Optional[np.random.Generator] = None, **kw):
+        super().__init__(env, DOCKER_LATENCY, rng=rng, **kw)
+
+
+class CrunBackend(SimulatedBackend):
+    """crun backend: C library, fastest creates (~150 ms)."""
+
+    name = "crun"
+
+    def __init__(self, env: Environment, rng: Optional[np.random.Generator] = None, **kw):
+        super().__init__(env, CRUN_LATENCY, rng=rng, **kw)
+
+
+class NullBackend(ContainerBackend):
+    """The in-situ simulation backend (Section 3.3, "Simulation Backend").
+
+    No sandbox exists: creation and destruction are internal dummy calls
+    (zero cost by default, configurable), and an invocation is a pure
+    timeout for the function's anticipated execution time.  Every other
+    control-plane path — queueing, keep-alive, eviction, metrics — runs
+    unchanged, letting one worker "simulate" hundreds of cores.
+    """
+
+    name = "null"
+
+    def __init__(
+        self,
+        env: Environment,
+        create_latency: float = 0.0,
+        destroy_latency: float = 0.0,
+    ):
+        super().__init__(env)
+        if create_latency < 0 or destroy_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.create_latency = float(create_latency)
+        self.destroy_latency = float(destroy_latency)
+
+    def create(
+        self,
+        registration: FunctionRegistration,
+        namespace: Optional[str] = None,
+    ) -> Generator:
+        container = Container(registration, self, self.env.now, namespace=namespace)
+        if self.create_latency > 0:
+            yield self.env.timeout(self.create_latency)
+        container.state = ContainerState.AVAILABLE
+        self.created += 1
+        return container
+        yield  # pragma: no cover - keeps this a generator when latency is 0
+
+    def invoke(self, container: Container, exec_time: float) -> Generator:
+        container.state = ContainerState.RUNNING
+        yield self.env.timeout(exec_time)
+        container.state = ContainerState.AVAILABLE
+        container.invocations += 1
+        container.last_used = self.env.now
+        return {"status": "ok", "exec_time": exec_time}
+
+    def destroy(self, container: Container) -> Generator:
+        if self.destroy_latency > 0:
+            yield self.env.timeout(self.destroy_latency)
+        container.state = ContainerState.DESTROYED
+        self.destroyed += 1
+        return None
+        yield  # pragma: no cover
+
+    def restore(
+        self,
+        registration: FunctionRegistration,
+        restore_latency: float,
+        namespace: Optional[str] = None,
+    ) -> Generator:
+        """Snapshot restore in the null backend: a pure timeout."""
+        if restore_latency < 0:
+            raise ValueError("restore_latency must be non-negative")
+        container = Container(registration, self, self.env.now, namespace=namespace)
+        if restore_latency > 0:
+            yield self.env.timeout(restore_latency)
+        container.state = ContainerState.AVAILABLE
+        self.created += 1
+        return container
+        yield  # pragma: no cover
+
+
+def make_backend(name: str, env: Environment, **kwargs) -> ContainerBackend:
+    """Factory by backend name."""
+    table = {
+        "containerd": ContainerdBackend,
+        "docker": DockerBackend,
+        "crun": CrunBackend,
+        "null": NullBackend,
+    }
+    cls = table.get(name.lower())
+    if cls is None:
+        raise ValueError(f"unknown backend {name!r}; choose from {sorted(table)}")
+    return cls(env, **kwargs)

@@ -1,0 +1,136 @@
+"""Container backend abstraction (Section 3.3, "Container Handling").
+
+Ilúvatar keeps the backend API deliberately narrow so multiple runtimes
+can sit below the control plane:
+
+1. create a container/sandbox with resource limits and a disk image,
+2. launch the agent task inside it,
+3. destroy it.
+
+This module defines that interface plus the container object the worker
+manipulates.  Concrete backends (:mod:`containerd`, :mod:`docker`,
+:mod:`null`) model their respective latency profiles; the *null* backend
+is the paper's in-situ simulation device — function execution becomes a
+DES timeout while every other code path stays identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Generator, Optional
+
+from ..core.function import FunctionRegistration
+from ..sim.core import Environment
+
+__all__ = ["ContainerState", "Container", "ContainerBackend", "BackendLatency"]
+
+_container_seq = itertools.count(1)
+
+
+class ContainerState(str, Enum):
+    CREATING = "creating"
+    UNHEALTHY = "unhealthy"  # created, agent not ready yet
+    AVAILABLE = "available"
+    RUNNING = "running"
+    DESTROYED = "destroyed"
+
+
+@dataclass(frozen=True)
+class BackendLatency:
+    """Latency profile of a containerization library (seconds).
+
+    Defaults follow the paper's measurements: crun ≈150 ms, containerd
+    ≈300 ms, Docker ≈400 ms to launch a container; plus the RPC cost of
+    talking to an out-of-process daemon, agent startup inside the
+    container, and a destroy cost.
+    """
+
+    create_mean: float
+    create_jitter: float       # exponential tail on create
+    rpc_overhead: float        # per backend API call (daemon round trip)
+    agent_start: float         # agent HTTP server boot inside the sandbox
+    destroy_mean: float
+
+    def __post_init__(self):
+        for name in ("create_mean", "create_jitter", "rpc_overhead",
+                     "agent_start", "destroy_mean"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class Container:
+    """A sandbox instance managed by a backend."""
+
+    __slots__ = (
+        "id",
+        "fqdn",
+        "registration",
+        "state",
+        "created_at",
+        "last_used",
+        "invocations",
+        "namespace",
+        "backend",
+    )
+
+    def __init__(
+        self,
+        registration: FunctionRegistration,
+        backend: "ContainerBackend",
+        now: float,
+        namespace: Optional[str] = None,
+    ):
+        self.id = f"ctr-{next(_container_seq):06d}"
+        self.fqdn = registration.fqdn()
+        self.registration = registration
+        self.state = ContainerState.CREATING
+        self.created_at = now
+        self.last_used = now
+        self.invocations = 0
+        self.namespace = namespace
+        self.backend = backend
+
+    @property
+    def memory_mb(self) -> float:
+        return self.registration.memory_mb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Container {self.id} {self.fqdn} {self.state.value}>"
+
+
+class ContainerBackend:
+    """Abstract backend; operations are DES processes (`yield from` them)."""
+
+    name = "abstract"
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.created = 0
+        self.destroyed = 0
+
+    def create(
+        self,
+        registration: FunctionRegistration,
+        namespace: Optional[str] = None,
+    ) -> Generator:
+        """DES process: create a sandbox + start the agent; returns Container.
+
+        ``namespace`` is a pre-created network namespace (from the pool);
+        when ``None`` the backend pays the namespace-creation latency
+        itself (the ~100 ms global-lock cost the pool exists to avoid).
+        """
+        raise NotImplementedError
+
+    def invoke(self, container: Container, exec_time: float) -> Generator:
+        """DES process: run the function code inside the container.
+
+        ``exec_time`` is the function-code duration the caller determined
+        (warm or cold).  Returns the agent's response value.
+        """
+        raise NotImplementedError
+
+    def destroy(self, container: Container) -> Generator:
+        """DES process: tear the sandbox down."""
+        raise NotImplementedError

@@ -1,0 +1,95 @@
+"""Container image registry and layer preparation (registration path).
+
+Registering a function entails fetching its image from a repository and
+preparing the copy-on-write layers relevant to the OS/architecture
+(Section 3.2).  Registration is out-of-band — not on the invocation
+critical path — but it is part of the lifecycle, so the model accounts
+for layer download/unpack time and caches layers shared across images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Sequence
+
+import numpy as np
+
+from ..sim.core import Environment
+
+__all__ = ["ImageLayer", "ImageManifest", "ImageRegistry"]
+
+
+@dataclass(frozen=True)
+class ImageLayer:
+    """One copy-on-write layer."""
+
+    digest: str
+    size_mb: float
+    os: str = "linux"
+    arch: str = "amd64"
+
+    def __post_init__(self):
+        if self.size_mb < 0:
+            raise ValueError("layer size must be non-negative")
+
+
+@dataclass(frozen=True)
+class ImageManifest:
+    """A multi-layer image; layers may target different OS/arch combos."""
+
+    reference: str
+    layers: tuple[ImageLayer, ...]
+
+    def relevant_layers(self, os: str = "linux", arch: str = "amd64") -> tuple[ImageLayer, ...]:
+        """Select the layers for this platform (the paper's 'prepare' step)."""
+        return tuple(l for l in self.layers if l.os == os and l.arch == arch)
+
+
+@dataclass
+class ImageRegistry:
+    """Models DockerHub-like pulls with a local layer cache.
+
+    Pull latency = per-layer fetch (bandwidth-bound) + unpack, skipping
+    layers already cached locally.
+    """
+
+    env: Environment
+    bandwidth_mb_per_s: float = 100.0
+    unpack_s_per_mb: float = 0.002
+    manifests: dict[str, ImageManifest] = field(default_factory=dict)
+    _local_layers: set[str] = field(default_factory=set)
+    pulls: int = 0
+    cached_layer_hits: int = 0
+
+    def push(self, manifest: ImageManifest) -> None:
+        """Make an image available in the remote registry."""
+        self.manifests[manifest.reference] = manifest
+
+    def has_image(self, reference: str) -> bool:
+        return reference in self.manifests
+
+    def default_manifest(self, reference: str, size_mb: float = 120.0) -> ImageManifest:
+        """Synthesize a plausible manifest: a shared base plus app layers."""
+        base = ImageLayer(digest="sha256:base-python", size_mb=50.0)
+        app = ImageLayer(digest=f"sha256:app-{reference}", size_mb=max(size_mb - 50.0, 1.0))
+        manifest = ImageManifest(reference=reference, layers=(base, app))
+        self.push(manifest)
+        return manifest
+
+    def pull(self, reference: str, os: str = "linux", arch: str = "amd64") -> Generator:
+        """DES process: fetch + unpack the platform-relevant layers."""
+        manifest = self.manifests.get(reference)
+        if manifest is None:
+            manifest = self.default_manifest(reference)
+        self.pulls += 1
+        total = 0.0
+        for layer in manifest.relevant_layers(os, arch):
+            if layer.digest in self._local_layers:
+                self.cached_layer_hits += 1
+                continue
+            total += layer.size_mb / self.bandwidth_mb_per_s
+            total += layer.size_mb * self.unpack_s_per_mb
+            self._local_layers.add(layer.digest)
+        if total > 0:
+            yield self.env.timeout(total)
+        return manifest

@@ -1,0 +1,52 @@
+"""Latency profiles for the supported container backends.
+
+Constants follow the paper's reported numbers (Section 3.3): launching a
+container costs ≈150 ms under crun, ≈300 ms under containerd and ≈400 ms
+under Docker; containerd is driven over an RPC API that adds per-call
+latency; and the network-namespace creation a cold start needs costs up to
+≈100 ms due to a kernel-global lock (Section 3.2), which the namespace
+pool hides.
+"""
+
+from __future__ import annotations
+
+from .base import BackendLatency
+
+__all__ = [
+    "CONTAINERD_LATENCY",
+    "DOCKER_LATENCY",
+    "CRUN_LATENCY",
+    "NAMESPACE_CREATE_LATENCY",
+    "AGENT_HTTP_LATENCY",
+]
+
+# Network namespace creation when no pooled namespace is available (s).
+NAMESPACE_CREATE_LATENCY = 0.100
+
+# Warm-path HTTP round trip to the in-container agent (paper Table 2:
+# call_container ≈ 1.364 ms beyond function execution, prepare ≈ 0.154 ms).
+AGENT_HTTP_LATENCY = 0.00136
+
+CONTAINERD_LATENCY = BackendLatency(
+    create_mean=0.300,
+    create_jitter=0.030,
+    rpc_overhead=0.002,
+    agent_start=0.080,
+    destroy_mean=0.050,
+)
+
+DOCKER_LATENCY = BackendLatency(
+    create_mean=0.400,
+    create_jitter=0.040,
+    rpc_overhead=0.004,
+    agent_start=0.080,
+    destroy_mean=0.080,
+)
+
+CRUN_LATENCY = BackendLatency(
+    create_mean=0.150,
+    create_jitter=0.015,
+    rpc_overhead=0.0005,
+    agent_start=0.080,
+    destroy_mean=0.030,
+)

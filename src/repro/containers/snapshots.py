@@ -1,0 +1,113 @@
+"""Container snapshot store (Section 3.2: cold starts may launch "from a
+previous snapshot if available").
+
+After a function's first full cold start, a snapshot of its initialized
+sandbox can be captured; later cold starts restore from it, skipping most
+of the container-creation and function-initialization work.  The model
+follows the REAP/FaaSnap-style measurements the paper cites: restoring
+costs a fixed base plus a memory-proportional load term, typically
+several times cheaper than a full create + initialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.function import FunctionRegistration
+
+__all__ = ["SnapshotPolicy", "Snapshot", "SnapshotStore"]
+
+
+@dataclass(frozen=True)
+class SnapshotPolicy:
+    """Cost model for capture and restore."""
+
+    restore_base: float = 0.050          # fixed restore latency (s)
+    restore_s_per_gb: float = 0.150      # memory-proportional load
+    capture_base: float = 0.100          # capture happens off critical path
+    capture_s_per_gb: float = 0.300
+    # Fraction of the function's code/data initialization that the
+    # snapshot preserves (imports, model loads). 1.0 = fully initialized.
+    init_coverage: float = 1.0
+
+    def __post_init__(self):
+        for name in ("restore_base", "restore_s_per_gb", "capture_base",
+                     "capture_s_per_gb"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.init_coverage <= 1.0:
+            raise ValueError("init_coverage must be in [0, 1]")
+
+    def restore_latency(self, memory_mb: float) -> float:
+        return self.restore_base + self.restore_s_per_gb * memory_mb / 1024.0
+
+    def capture_latency(self, memory_mb: float) -> float:
+        return self.capture_base + self.capture_s_per_gb * memory_mb / 1024.0
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A captured, initialized sandbox image for one function version."""
+
+    fqdn: str
+    memory_mb: float
+    captured_at: float
+
+
+class SnapshotStore:
+    """Per-worker snapshot registry.
+
+    ``restore_plan(reg)`` answers the cold-start question: if a snapshot
+    exists, return the (restore_latency, remaining_init) pair replacing
+    the full create+init path; otherwise ``None``.
+    """
+
+    def __init__(self, policy: Optional[SnapshotPolicy] = None,
+                 enabled: bool = True):
+        self.policy = policy or SnapshotPolicy()
+        self.enabled = enabled
+        self._snapshots: dict[str, Snapshot] = {}
+        self.captures = 0
+        self.restores = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def has(self, fqdn: str) -> bool:
+        return self.enabled and fqdn in self._snapshots
+
+    def get(self, fqdn: str) -> Optional[Snapshot]:
+        if not self.enabled:
+            return None
+        return self._snapshots.get(fqdn)
+
+    def capture(self, registration: FunctionRegistration, now: float) -> float:
+        """Record a snapshot; returns the (off-critical-path) capture cost."""
+        if not self.enabled:
+            return 0.0
+        fqdn = registration.fqdn()
+        if fqdn not in self._snapshots:
+            self._snapshots[fqdn] = Snapshot(
+                fqdn=fqdn, memory_mb=registration.memory_mb, captured_at=now
+            )
+            self.captures += 1
+        return self.policy.capture_latency(registration.memory_mb)
+
+    def restore_plan(
+        self, registration: FunctionRegistration
+    ) -> Optional[tuple[float, float]]:
+        """(restore_latency, remaining_init_time) if a snapshot exists."""
+        snapshot = self.get(registration.fqdn())
+        if snapshot is None:
+            return None
+        self.restores += 1
+        remaining_init = registration.init_time * (1.0 - self.policy.init_coverage)
+        return (
+            self.policy.restore_latency(registration.memory_mb),
+            remaining_init,
+        )
+
+    def invalidate(self, fqdn: str) -> None:
+        """Drop a snapshot (e.g. on function re-registration)."""
+        self._snapshots.pop(fqdn, None)

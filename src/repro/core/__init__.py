@@ -1,0 +1,22 @@
+"""Worker-centric control plane core."""
+
+from .characteristics import CharacteristicsMap, FunctionStats, MovingAverage
+from .config import WorkerConfig, WorkerLatencyProfile, load_config
+from .container_pool import ContainerPool, PoolEntry
+from .function import FunctionRegistration, Invocation, InvocationResult
+from .worker import Worker
+
+__all__ = [
+    "CharacteristicsMap",
+    "FunctionStats",
+    "MovingAverage",
+    "WorkerConfig",
+    "WorkerLatencyProfile",
+    "load_config",
+    "ContainerPool",
+    "PoolEntry",
+    "FunctionRegistration",
+    "Invocation",
+    "InvocationResult",
+    "Worker",
+]

@@ -1,0 +1,498 @@
+"""The Ilúvatar worker (Sections 3 and 4).
+
+Worker-centric control plane for one server: it owns registration, the
+per-worker invocation queue with its concurrency regulator and bypass, the
+warm-container pool with background keep-alive eviction, the namespace and
+HTTP-client caches, and all metrics.  The API mirrors the paper's —
+``register``, ``invoke``, ``async_invoke``, ``prewarm`` — and is identical
+whether the worker runs under a load balancer or standalone.
+
+Every control-plane component *spends* its latency as a DES timeout (means
+from paper Table 2 with a small exponential tail), so measured spans and
+end-to-end overheads are consistent with the paper's warm-path numbers by
+construction, while queueing and cold-start behaviour emerge from the
+actual control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..containers.agent import HttpClientPool
+from ..containers.backends import make_backend
+from ..containers.base import ContainerBackend
+from ..containers.image import ImageRegistry
+from ..containers.namespace_pool import NamespacePool
+from ..containers.snapshots import SnapshotStore
+from ..errors import DuplicateRegistration, FunctionNotRegistered
+from ..keepalive.policies import HistogramPolicy, make_policy
+from ..metrics.energy import EnergyMonitor
+from ..metrics.registry import InvocationRecord, MetricsRegistry, Outcome
+from ..metrics.spans import SpanRecorder
+from ..queueing.bypass import NoBypass, ShortFunctionBypass
+from ..queueing.policies import make_queue_policy
+from ..queueing.regulator import AIMDConfig, ConcurrencyRegulator, LoadTracker
+from ..sim.core import Environment, Event
+from ..sim.resources import Gauge, PriorityStore
+from .characteristics import CharacteristicsMap
+from .config import WorkerConfig
+from .container_pool import ContainerPool
+from .function import FunctionRegistration, Invocation
+from .results import AsyncResult, ResultStore
+
+__all__ = ["Worker"]
+
+
+class Worker:
+    """A single Ilúvatar worker on a DES environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[WorkerConfig] = None,
+        backend: Optional[ContainerBackend] = None,
+        registry: Optional[ImageRegistry] = None,
+    ):
+        self.env = env
+        self.config = config or WorkerConfig()
+        cfg = self.config
+        self.rng = np.random.default_rng(cfg.seed)
+        self.name = cfg.name
+
+        self.backend = backend or make_backend(cfg.backend, env)
+        self.image_registry = registry or ImageRegistry(env)
+
+        self.characteristics = CharacteristicsMap()
+        self.metrics = MetricsRegistry(clock=lambda: env.now)
+        self.spans = SpanRecorder(clock=lambda: env.now)
+        # Simulated RAPL: integrates a linear power model over busy cores
+        # (Section 5.1's self-contained system monitoring).
+        self.energy = EnergyMonitor(clock=lambda: env.now)
+
+        self.memory = Gauge(env, capacity=cfg.memory_mb)
+        self.keepalive_policy = make_policy(cfg.keepalive_policy)
+        self.pool = ContainerPool(
+            env,
+            self.backend,
+            self.keepalive_policy,
+            self.memory,
+            free_buffer_mb=cfg.free_memory_buffer_mb,
+            eviction_interval=cfg.eviction_interval,
+        )
+
+        self.load = LoadTracker(cores=cfg.cores, interval=cfg.load_sample_interval)
+        aimd = AIMDConfig(max_limit=4 * cfg.cores) if cfg.dynamic_concurrency else None
+        self.regulator = ConcurrencyRegulator(
+            env, cfg.effective_concurrency, load=self.load, aimd=aimd
+        )
+
+        self.queue = PriorityStore(env)
+        self.queue_policy = make_queue_policy(cfg.queue_policy, self.characteristics)
+        if cfg.bypass_enabled:
+            self.bypass = ShortFunctionBypass(
+                self.characteristics,
+                self.load,
+                duration_threshold=cfg.bypass_duration,
+                load_limit=cfg.bypass_load_limit,
+            )
+        else:
+            self.bypass = NoBypass()
+
+        self.namespaces = NamespacePool(
+            env,
+            target_size=cfg.namespace_pool_size,
+            enabled=cfg.namespace_pool_enabled,
+        )
+        self.http_clients = HttpClientPool(enabled=cfg.http_client_cache_enabled)
+        self.snapshots = SnapshotStore(enabled=cfg.snapshots_enabled)
+
+        self.registrations: dict[str, FunctionRegistration] = {}
+        self.results = ResultStore(clock=lambda: env.now)
+        self._started = False
+        self.dropped = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------ util
+    def _lat(self, base: float) -> float:
+        """One control-plane component latency: base + exponential tail."""
+        frac = self.config.latency.jitter_fraction
+        if base <= 0:
+            return 0.0
+        if frac <= 0:
+            return base
+        return base + float(self.rng.exponential(frac * base))
+
+    def _spend(self, span_name: str, base: float) -> Generator:
+        """Spend and record one component latency."""
+        cost = self._lat(base)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        self.spans.record(span_name, cost)
+
+    # ------------------------------------------------------------------ life
+    def start(self) -> None:
+        """Launch the worker's background processes."""
+        if self._started:
+            raise RuntimeError("worker already started")
+        self._started = True
+        self.env.process(self.pool.evictor(), name=f"{self.name}-evictor")
+        self.env.process(self.load.sampler(self.env), name=f"{self.name}-loadavg")
+        self.env.process(self._dispatcher(), name=f"{self.name}-dispatcher")
+        if self.config.namespace_pool_enabled:
+            self.env.process(self.namespaces.refiller(), name=f"{self.name}-netns")
+        if self.config.dynamic_concurrency:
+            self.env.process(self.regulator.controller(), name=f"{self.name}-aimd")
+
+    def stop(self) -> None:
+        self.pool.stop()
+        self.namespaces.stop()
+        self.regulator.stop()
+
+    # ------------------------------------------------------------------ API
+    def register(self, registration: FunctionRegistration) -> Generator:
+        """DES process: register a function (image pull is out-of-band)."""
+        fqdn = registration.fqdn()
+        if fqdn in self.registrations:
+            raise DuplicateRegistration(fqdn)
+        yield self.env.process(
+            self.image_registry.pull(registration.image)
+        )
+        self.registrations[fqdn] = registration
+        return fqdn
+
+    def register_sync(self, registration: FunctionRegistration) -> str:
+        """Register without modelling the image pull (tests/experiments)."""
+        fqdn = registration.fqdn()
+        if fqdn in self.registrations:
+            raise DuplicateRegistration(fqdn)
+        self.registrations[fqdn] = registration
+        return fqdn
+
+    def prewarm(self, fqdn: str) -> Generator:
+        """DES process: start a container + agent and add it to the pool."""
+        registration = self._lookup(fqdn)
+        took = yield from self._take_memory(registration.memory_mb)
+        if not took:
+            return False
+        entry = yield from self._cold_create(registration, prewarmed=True)
+        self.pool.return_entry(entry)
+        return True
+
+    def invoke(self, fqdn: str, args=None) -> Generator:
+        """DES process: synchronous invocation; returns the Invocation."""
+        done = self.async_invoke(fqdn, args)
+        inv = yield done
+        return inv
+
+    def async_invoke(self, fqdn: str, args=None) -> Event:
+        """Fire an invocation; returns an event that succeeds with the
+        completed :class:`Invocation` (dropped invocations also complete,
+        with ``dropped=True``)."""
+        registration = self._lookup(fqdn)
+        done = self.env.event()
+        inv = Invocation(function=registration, arrival=self.env.now, args=args)
+        self.env.process(self._ingest(inv, done), name=f"ingest-{inv.id}")
+        return done
+
+    def async_invoke_cookie(self, fqdn: str, args=None) -> str:
+        """The paper's async API: fire and return a cookie immediately;
+        poll :meth:`check_async_invocation` for the result."""
+        cookie = self.results.register()
+        done = self.async_invoke(fqdn, args)
+        done.callbacks.append(
+            lambda event: self.results.complete(cookie, event.value)
+        )
+        return cookie
+
+    def check_async_invocation(self, cookie: str, collect: bool = True) -> AsyncResult:
+        """Poll an async cookie; DONE results are collected (one-shot)."""
+        return self.results.check(cookie, collect=collect)
+
+    def _lookup(self, fqdn: str) -> FunctionRegistration:
+        registration = self.registrations.get(fqdn)
+        if registration is None:
+            raise FunctionNotRegistered(fqdn)
+        return registration
+
+    # ------------------------------------------------------------- pipeline
+    def _ingest(self, inv: Invocation, done: Event) -> Generator:
+        """Ingestion: API handling, bypass decision, enqueue."""
+        yield from self._spend("invoke", self.config.latency.invoke)
+        yield from self._spend("sync_invoke", self.config.latency.sync_invoke)
+        fqdn = inv.function.fqdn()
+        self.characteristics.record_arrival(fqdn, self.env.now)
+        if isinstance(self.keepalive_policy, HistogramPolicy):
+            self.keepalive_policy.record_arrival(fqdn, self.env.now)
+
+        warm_available = self.pool.has_available(fqdn)
+        if self.bypass.should_bypass(inv, warm_available):
+            inv.bypassed = True
+            self.metrics.incr("queue.bypassed")
+            yield from self._execute(inv, done, token=None)
+            return
+
+        yield from self._spend(
+            "enqueue_invocation", self.config.latency.enqueue_invocation
+        )
+        priority = self.queue_policy.priority(inv, warm_available)
+        inv.enqueued_at = self.env.now
+        yield from self._spend("add_item_to_q", self.config.latency.add_item_to_q)
+        # Admission check at the moment of insertion, so concurrent
+        # ingests observe the queue they are actually joining.
+        if (
+            self.config.queue_max_len is not None
+            and len(self.queue) >= self.config.queue_max_len
+        ):
+            self._drop(inv, done, "queue overflow")
+            return
+        yield self.queue.put((inv, done), priority=priority)
+
+    def _dispatcher(self) -> Generator:
+        """The queue-monitor thread: regulator-gated dispatch loop."""
+        while True:
+            token = self.regulator.tokens.request()
+            yield token
+            item = yield self.queue.get()
+            inv, done = item
+            inv.dispatched_at = self.env.now
+            self.queue_policy.on_dispatch(inv)
+            self.env.process(
+                self._handle(inv, done, token), name=f"handler-{inv.id}"
+            )
+
+    def _handle(self, inv: Invocation, done: Event, token) -> Generator:
+        yield from self._spend("dequeue", self.config.latency.dequeue)
+        yield from self._spend("spawn_worker", self.config.latency.spawn_worker)
+        yield from self._execute(inv, done, token)
+
+    def _execute(self, inv: Invocation, done: Event, token) -> Generator:
+        """Acquire a container, run the function, return everything."""
+        cfg = self.config
+        fqdn = inv.function.fqdn()
+        self.load.on_start()
+        self.energy.update(min(self.load.running, self.config.cores))
+        entry = None
+        try:
+            yield from self._spend(
+                "acquire_container", cfg.latency.acquire_container
+            )
+            entry = self.pool.try_acquire(fqdn)
+            if entry is not None:
+                yield from self._spend(
+                    "try_lock_container", cfg.latency.try_lock_container
+                )
+                inv.cold = False
+            else:
+                inv.cold = True
+                took = yield from self._take_memory(inv.function.memory_mb)
+                if not took:
+                    self._drop(inv, done, "insufficient memory")
+                    return
+                entry = yield from self._cold_create(inv.function)
+
+            # Talk to the agent.
+            yield from self._spend("prepare_invoke", cfg.latency.prepare_invoke)
+            conn_cost = self.http_clients.connection_cost(entry.container.id)
+            if conn_cost > 0:
+                yield self.env.timeout(conn_cost)
+                self.spans.record("http_client_create", conn_cost)
+
+            exec_time = (
+                self._cold_exec_time(inv.function)
+                if inv.cold
+                else inv.function.warm_time
+            )
+            inv.exec_started_at = self.env.now
+            call_start = self.env.now
+            invoke_proc = self.env.process(
+                self.backend.invoke(entry.container, exec_time)
+            )
+            limit = inv.function.timeout
+            if limit is not None:
+                timed_out = yield from self._await_with_timeout(
+                    invoke_proc, limit
+                )
+                if timed_out:
+                    # Kill the over-running invocation: the container is
+                    # destroyed (its state is unknown) and the caller gets
+                    # a timeout outcome.
+                    yield from self._timeout_kill(inv, entry, done)
+                    entry = None
+                    return
+            else:
+                yield invoke_proc
+            inv.exec_finished_at = inv.exec_started_at + exec_time
+            # call_container span is the HTTP overhead around execution.
+            self.spans.record(
+                "call_container", max(self.env.now - call_start - exec_time, 0.0)
+            )
+            yield from self._spend("download_result", cfg.latency.download_result)
+
+            # Return the container to the pool and the results to the caller.
+            yield from self._spend("return_container", cfg.latency.return_container)
+            self.pool.return_entry(entry)
+            entry = None
+            yield from self._spend("return_results", cfg.latency.return_results)
+
+            inv.completed_at = self.env.now
+            self.characteristics.record_execution(fqdn, exec_time, inv.cold)
+            self.metrics.record_invocation(
+                InvocationRecord(
+                    function=fqdn,
+                    arrival=inv.arrival,
+                    outcome=Outcome.BYPASSED if inv.bypassed else (
+                        Outcome.COLD if inv.cold else Outcome.WARM
+                    ),
+                    exec_time=inv.exec_time,
+                    e2e_time=inv.e2e_time,
+                    queue_time=inv.queue_time,
+                    overhead=inv.overhead,
+                    cold=inv.cold,
+                    worker=self.name,
+                )
+            )
+            done.succeed(inv)
+        finally:
+            self.load.on_finish()
+            self.energy.update(min(self.load.running, self.config.cores))
+            if token is not None:
+                self.regulator.tokens.release(token)
+            if entry is not None:
+                # Failure path: never leak a claimed container.
+                self.env.process(self.pool.discard_in_use(entry))
+
+    def _await_with_timeout(self, invoke_proc, limit: float) -> Generator:
+        """Wait for the invocation or its execution limit; True on timeout."""
+        timeout_ev = self.env.timeout(limit)
+        result = yield self.env.any_of([invoke_proc, timeout_ev])
+        if invoke_proc in result or not invoke_proc.is_alive:
+            # Finished (possibly in the same instant the limit expired).
+            return False
+        invoke_proc.interrupt("function timeout")
+        return True
+
+    def _timeout_kill(self, inv: Invocation, entry, done: Event) -> Generator:
+        """Terminate a timed-out invocation and report it."""
+        inv.timed_out = True
+        inv.exec_finished_at = self.env.now
+        inv.completed_at = self.env.now
+        self.timeouts += 1
+        self.http_clients.forget(entry.container.id)
+        yield self.env.process(self.pool.discard_in_use(entry))
+        self.metrics.record_invocation(
+            InvocationRecord(
+                function=inv.function.fqdn(),
+                arrival=inv.arrival,
+                outcome=Outcome.TIMEOUT,
+                exec_time=inv.exec_time,
+                e2e_time=inv.e2e_time,
+                queue_time=inv.queue_time,
+                overhead=inv.overhead,
+                cold=inv.cold,
+                worker=self.name,
+            )
+        )
+        done.succeed(inv)
+
+    def _take_memory(self, memory_mb: float) -> Generator:
+        """Admission: obtain memory for a cold start, evicting if needed.
+
+        Returns True on success; False when the wait timed out (the
+        invocation is then shed)."""
+        if self.memory.try_take(memory_mb):
+            return True
+        # Ask the pool to synchronously pick victims (destruction is async).
+        self.pool.evict_for(memory_mb - max(self.memory.level, 0.0))
+        take = self.memory.take(memory_mb)
+        timeout = self.env.timeout(self.config.memory_wait_timeout)
+        result = yield self.env.any_of([take, timeout])
+        if take in result:
+            return True
+        # Timed out: the gauge will eventually grant the take; return the
+        # memory as soon as it does so accounting stays balanced.
+        take.callbacks.append(lambda _e: self.memory.give(memory_mb))
+        return False
+
+    def _cold_create(
+        self, registration: FunctionRegistration, prewarmed: bool = False
+    ) -> Generator:
+        """Create a container through the backend (memory already taken).
+
+        With snapshots enabled and one available, the sandbox is restored
+        instead of built from scratch; the function's initialization work
+        covered by the snapshot is skipped at execution time (the caller
+        consults :meth:`_cold_exec_time`).
+        """
+        namespace = self.namespaces.acquire()
+        plan = self.snapshots.restore_plan(registration)
+        if plan is not None:
+            restore_latency, _remaining = plan
+            container = yield self.env.process(
+                self.backend.restore(
+                    registration, restore_latency, namespace=namespace
+                )
+            )
+            self.metrics.incr("containers.restored")
+        else:
+            container = yield self.env.process(
+                self.backend.create(registration, namespace=namespace)
+            )
+            self.metrics.incr("containers.created")
+            if self.snapshots.enabled:
+                self._schedule_capture(registration)
+        return self.pool.add_in_use(
+            container, init_cost=registration.init_time, prewarmed=prewarmed
+        )
+
+    def _cold_exec_time(self, registration: FunctionRegistration) -> float:
+        """Function-code time for a cold start, given snapshot coverage."""
+        if self.snapshots.has(registration.fqdn()):
+            remaining_init = registration.init_time * (
+                1.0 - self.snapshots.policy.init_coverage
+            )
+            return registration.warm_time + remaining_init
+        return registration.cold_time
+
+    def _schedule_capture(self, registration: FunctionRegistration) -> None:
+        """Capture a snapshot in the background, off the critical path."""
+        def capture() -> Generator:
+            cost = self.snapshots.policy.capture_latency(registration.memory_mb)
+            yield self.env.timeout(cost)
+            self.snapshots.capture(registration, self.env.now)
+
+        self.env.process(capture(), name=f"capture-{registration.fqdn()}")
+
+    def _drop(self, inv: Invocation, done: Event, reason: str) -> None:
+        inv.dropped = True
+        inv.drop_reason = reason
+        inv.completed_at = self.env.now
+        self.dropped += 1
+        self.metrics.record_invocation(
+            InvocationRecord(
+                function=inv.function.fqdn(),
+                arrival=inv.arrival,
+                outcome=Outcome.DROPPED,
+                worker=self.name,
+            )
+        )
+        done.succeed(inv)
+
+    # ------------------------------------------------------------- status
+    def status(self) -> dict:
+        """Load/status snapshot, as served to the load balancer."""
+        return {
+            "name": self.name,
+            "queue_length": len(self.queue),
+            "running": self.load.running,
+            "loadavg": self.load.loadavg,
+            "normalized_load": self.load.normalized,
+            "concurrency_limit": self.regulator.limit,
+            "free_memory_mb": self.memory.level,
+            "warm_containers": self.pool.available_count(),
+            "dropped": self.dropped,
+            "timeouts": self.timeouts,
+            "async_pending": self.results.pending_count,
+            "energy_joules": self.energy.joules,
+        }

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro control plane."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FunctionNotRegistered",
+    "DuplicateRegistration",
+    "InvocationDropped",
+    "ContainerError",
+    "InsufficientResources",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all control-plane errors."""
+
+
+class FunctionNotRegistered(ReproError):
+    """An invocation referenced a function name that was never registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function {name!r} is not registered")
+        self.name = name
+
+
+class DuplicateRegistration(ReproError):
+    """A function name was registered twice."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function {name!r} is already registered")
+        self.name = name
+
+
+class InvocationDropped(ReproError):
+    """The platform shed this invocation (queue overflow / admission)."""
+
+    def __init__(self, function: str, reason: str = "queue overflow"):
+        super().__init__(f"invocation of {function!r} dropped: {reason}")
+        self.function = function
+        self.reason = reason
+
+
+class ContainerError(ReproError):
+    """A container backend operation failed."""
+
+
+class InsufficientResources(ReproError):
+    """A request exceeds what the worker can ever satisfy."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration values."""

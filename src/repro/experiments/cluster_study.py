@@ -1,0 +1,142 @@
+"""Full-stack cluster study: an Azure-like day on a CH-BL cluster.
+
+Not a single paper figure, but the composition the paper's platform
+exists for: a sampled Azure-like trace, re-profiled onto FunctionBench
+timings, load-fitted with Little's law, replayed against a cluster of
+Ilúvatar workers behind consistent hashing with bounded loads — reporting
+the end-to-end health metrics a provider watches (cold ratio, drops,
+latency percentiles, locality, per-worker balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import WorkerConfig
+from ..core.function import FunctionRegistration
+from ..loadbalancer.cluster import Cluster
+from ..loadgen.openloop import plan_from_trace, replay_plan
+from ..metrics.stats import percentile
+from ..sim.core import Environment
+from ..trace.model import Trace
+from ..trace.scaling import little_load, scale_to_load
+from ..workloads.mapping import map_trace_to_catalog
+from .defaults import MEDIUM, Scale
+from .keepalive_sweep import make_traces
+
+__all__ = ["ClusterStudyResult", "run_cluster_study"]
+
+
+@dataclass(frozen=True)
+class ClusterStudyResult:
+    """Cluster-wide outcome of the study."""
+
+    invocations: int
+    completed: int
+    dropped: int
+    cold: int
+    e2e_p50_ms: float
+    e2e_p99_ms: float
+    overhead_p50_ms: float
+    forwards: int
+    placements: int
+    per_worker_invocations: dict
+    total_load: float
+
+    @property
+    def cold_ratio(self) -> float:
+        return self.cold / self.completed if self.completed else float("nan")
+
+    @property
+    def drop_ratio(self) -> float:
+        return self.dropped / self.invocations if self.invocations else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "invocations": self.invocations,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "cold_ratio": self.cold_ratio,
+            "e2e_p50_ms": self.e2e_p50_ms,
+            "e2e_p99_ms": self.e2e_p99_ms,
+            "overhead_p50_ms": self.overhead_p50_ms,
+            "forwards": self.forwards,
+            "placements": self.placements,
+            "littles_load": self.total_load,
+        }
+
+
+def run_cluster_study(
+    scale: Scale = MEDIUM,
+    trace: Optional[Trace] = None,
+    num_workers: int = 4,
+    cores_per_worker: int = 8,
+    memory_per_worker_mb: float = 8192.0,
+    target_load_fraction: float = 0.6,
+    duration_cap: float = 1800.0,
+    lb_policy: str = "ch_bl",
+) -> ClusterStudyResult:
+    """Replay (a clip of) the representative trace on a cluster.
+
+    ``target_load_fraction`` positions the Little's-law load relative to
+    total cluster cores (0.6 = comfortably loaded, not saturated).
+    """
+    if not 0 < target_load_fraction:
+        raise ValueError("target_load_fraction must be positive")
+    if trace is None:
+        trace = make_traces(scale)["representative"]
+    if trace.duration > duration_cap:
+        trace = trace.clipped(duration_cap, name=f"{trace.name}-study")
+    trace = map_trace_to_catalog(trace)
+    target = target_load_fraction * num_workers * cores_per_worker
+    trace = scale_to_load(trace, target_load=target)
+
+    env = Environment()
+    cluster = Cluster(
+        env,
+        num_workers=num_workers,
+        config=WorkerConfig(
+            cores=cores_per_worker,
+            memory_mb=memory_per_worker_mb,
+            backend="null",
+            keepalive_policy="GD",
+            seed=scale.seed,
+        ),
+        lb_policy=lb_policy,
+    )
+    cluster.start()
+    for f in trace.functions:
+        cluster.register_sync(
+            FunctionRegistration(
+                name=f.name,
+                memory_mb=f.memory_mb,
+                warm_time=f.warm_time,
+                cold_time=f.cold_time,
+            )
+        )
+    plan = plan_from_trace(trace)
+    invocations = replay_plan(env, cluster, plan, grace=300.0)
+    cluster.stop()
+
+    done = [i for i in invocations if not i.dropped and i.completed_at]
+    e2e = [i.e2e_time for i in done]
+    overheads = [i.overhead for i in done]
+    per_worker = {
+        name: len(w.metrics.records) for name, w in cluster.workers.items()
+    }
+    return ClusterStudyResult(
+        invocations=len(invocations),
+        completed=len(done),
+        dropped=sum(1 for i in invocations if i.dropped),
+        cold=sum(1 for i in done if i.cold),
+        e2e_p50_ms=percentile(e2e, 50) * 1000.0,
+        e2e_p99_ms=percentile(e2e, 99) * 1000.0,
+        overhead_p50_ms=percentile(overheads, 50) * 1000.0,
+        forwards=cluster.status()["forwards"],
+        placements=cluster.placements,
+        per_worker_invocations=per_worker,
+        total_load=little_load(trace),
+    )

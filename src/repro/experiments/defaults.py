@@ -1,0 +1,74 @@
+"""Shared experiment scales.
+
+Every experiment takes a :class:`Scale` so the same code runs as a quick
+CI check (``SMALL``), a benchmark run (``MEDIUM``, the repo default for
+``pytest benchmarks/``), or a paper-scale reproduction (``FULL`` — hours
+of simulated time, minutes of wall clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Scale", "SMALL", "MEDIUM", "FULL"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs."""
+
+    name: str
+    # Synthetic Azure dataset.
+    dataset_functions: int
+    dataset_minutes: int
+    rare_n: int
+    representative_n: int
+    random_n: int
+    # Keep-alive sweep.
+    cache_sizes_gb: tuple
+    # Closed-loop (Fig 1).
+    fig1_clients: tuple
+    fig1_duration: float
+    # Litmus/faasbench (Figs 6-7) run length (seconds).
+    litmus_duration: float
+    seed: int = 0xFAA5
+
+
+SMALL = Scale(
+    name="small",
+    dataset_functions=600,
+    dataset_minutes=180,
+    rare_n=150,
+    representative_n=80,
+    random_n=40,
+    cache_sizes_gb=(2.0, 5.0, 10.0),
+    fig1_clients=(1, 4, 16),
+    fig1_duration=10.0,
+    litmus_duration=300.0,
+)
+
+MEDIUM = Scale(
+    name="medium",
+    dataset_functions=2000,
+    dataset_minutes=480,
+    rare_n=500,
+    representative_n=200,
+    random_n=100,
+    cache_sizes_gb=(2.0, 5.0, 10.0, 15.0, 25.0, 40.0),
+    fig1_clients=(1, 2, 4, 8, 16, 32, 64, 96),
+    fig1_duration=20.0,
+    litmus_duration=900.0,
+)
+
+FULL = Scale(
+    name="full",
+    dataset_functions=6000,
+    dataset_minutes=1440,
+    rare_n=1000,
+    representative_n=400,
+    random_n=200,
+    cache_sizes_gb=(5.0, 10.0, 15.0, 25.0, 40.0, 60.0, 80.0),
+    fig1_clients=(1, 2, 4, 8, 16, 32, 48, 64, 96, 128),
+    fig1_duration=60.0,
+    litmus_duration=3600.0,
+)

@@ -1,0 +1,96 @@
+"""Figure 8: dynamic cache sizing via the miss-speed controller.
+
+The representative trace replays through the keep-alive simulator with
+the proportional controller resizing the cache once per window; the cache
+only changes when the miss-speed error exceeds the 30% band.
+
+Paper shape: the cache size tracks the miss speed around the target
+(0.0015 misses/s in the paper), and the *average* dynamic size comes in
+~30% below the conservative static 10 000 MB provision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..keepalive.policies import make_policy
+from ..keepalive.simulator import KeepAliveResult, KeepAliveSimulator
+from ..provisioning.controller import MissSpeedController, ProvisioningConfig
+from ..trace.model import Trace
+from .defaults import MEDIUM, Scale
+from .keepalive_sweep import make_traces
+
+__all__ = ["DynamicSizingOutcome", "run_fig8"]
+
+
+@dataclass
+class DynamicSizingOutcome:
+    result: KeepAliveResult
+    controller: MissSpeedController
+    static_size_mb: float
+
+    @property
+    def average_size_mb(self) -> float:
+        return self.controller.average_size_mb
+
+    @property
+    def savings(self) -> float:
+        return self.controller.savings_vs_static(self.static_size_mb)
+
+    def as_dict(self) -> dict:
+        times, sizes, speeds = self.controller.timeseries()
+        return {
+            "target_miss_speed": self.controller.config.target_miss_speed,
+            "static_size_mb": self.static_size_mb,
+            "average_size_mb": self.average_size_mb,
+            "savings_pct": 100.0 * self.savings,
+            "resizes": sum(1 for s in self.controller.history if s.resized),
+            "samples": len(times),
+            "cold_ratio": self.result.cold_ratio,
+        }
+
+
+def run_fig8(
+    scale: Scale = MEDIUM,
+    trace: Optional[Trace] = None,
+    config: Optional[ProvisioningConfig] = None,
+    policy: str = "GD",
+) -> DynamicSizingOutcome:
+    """Replay the representative trace under dynamic cache sizing."""
+    if trace is None:
+        trace = make_traces(scale)["representative"]
+    if config is None:
+        # Calibrate the target to this trace: measure the miss speed the
+        # conservative static provision actually delivers, then target a
+        # slightly laxer rate — the controller can then shed memory in
+        # quiet periods and grow it back under load, which is the paper's
+        # experiment (their target, 0.0015 misses/s, plays the same role
+        # for their trace sample).
+        baseline = KeepAliveSimulator(make_policy(policy), 10_000.0).run(trace)
+        baseline_speed = baseline.cold_starts / max(trace.duration, 1.0)
+        config = ProvisioningConfig(
+            target_miss_speed=max(baseline_speed * 1.6, 1e-6),
+            initial_size_mb=10_000.0,
+            max_size_mb=10_000.0,
+            window=300.0,
+        )
+    controller = MissSpeedController(config)
+
+    def on_tick(now: float, sim: KeepAliveSimulator) -> None:
+        new_size = controller.update(now, sim.cold_starts)
+        if abs(new_size - sim.cache.capacity_mb) > 1e-9:
+            sim.cache.set_capacity(new_size, now)
+
+    sim = KeepAliveSimulator(
+        make_policy(policy),
+        cache_size_mb=config.initial_size_mb,
+        tick_interval=config.window,
+        on_tick=on_tick,
+    )
+    result = sim.run(trace)
+    return DynamicSizingOutcome(
+        result=result,
+        controller=controller,
+        static_size_mb=config.max_size_mb,
+    )

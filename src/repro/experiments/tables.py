@@ -1,0 +1,67 @@
+"""Tables 3 and 4, and the appendix trace-timeseries figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.analysis import invocations_per_minute, invocations_per_second
+from ..trace.model import Trace
+from ..trace.replay import expand_dataset
+from ..trace.azure import AzureTraceConfig, generate_dataset
+from ..workloads.functionbench import catalog_table
+from .defaults import MEDIUM, Scale
+from .keepalive_sweep import make_traces
+
+__all__ = [
+    "PAPER_TABLE3",
+    "table3_rows",
+    "table4_rows",
+    "appendix_timeseries",
+]
+
+# The paper's Table 3 for side-by-side comparison.
+PAPER_TABLE3 = [
+    {"trace": "representative", "num_invocations": 1_348_162, "reqs_per_sec": 190.0,
+     "avg_iat_ms": 5.4},
+    {"trace": "rare", "num_invocations": 202_121, "reqs_per_sec": 30.0,
+     "avg_iat_ms": 36.0},
+    {"trace": "random", "num_invocations": 4_291_250, "reqs_per_sec": 600.0,
+     "avg_iat_ms": 1.8},
+]
+
+
+def table3_rows(scale: Scale = MEDIUM) -> list[dict]:
+    """Our trace-sample statistics in the paper's Table 3 shape."""
+    traces = make_traces(scale)
+    rows = []
+    for name in ("representative", "rare", "random"):
+        rows.append(traces[name].stats_row())
+    return rows
+
+
+def table4_rows() -> list[dict]:
+    """Table 4 is the FunctionBench catalog, reproduced verbatim."""
+    return catalog_table()
+
+
+def appendix_timeseries(scale: Scale = MEDIUM, bin_seconds: float = 60.0) -> dict[str, np.ndarray]:
+    """Invocations/sec (binned) for the full trace and the three samples —
+    the appendix figures.  Keys: full, representative, rare, random."""
+    dataset = generate_dataset(
+        AzureTraceConfig(
+            num_functions=scale.dataset_functions,
+            duration_minutes=scale.dataset_minutes,
+            seed=scale.seed,
+        )
+    )
+    full = expand_dataset(dataset, name="full")
+    traces: dict[str, Trace] = {"full": full}
+    traces.update(make_traces(scale))
+    out = {}
+    for name, trace in traces.items():
+        if bin_seconds == 60.0:
+            out[name] = invocations_per_minute(trace) / 60.0
+        else:
+            counts = invocations_per_second(trace)
+            out[name] = counts.astype(float)
+    return out

@@ -1,0 +1,42 @@
+"""Caching-based keep-alive: policies, cache, and trace-driven simulator."""
+
+from .cache import CacheStats, KeepAliveCache
+from .entries import WarmContainer
+from .policies import (
+    POLICY_NAMES,
+    GreedyDualPolicy,
+    HistogramPolicy,
+    KeepAlivePolicy,
+    LandlordPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    PreloadRequest,
+    TTLPolicy,
+    make_policy,
+)
+from .reuse import HitRatioCurve, hit_ratio_curve, recommend_cache_size, reuse_distances
+from .simulator import KeepAliveResult, KeepAliveSimulator, simulate, sweep_cache_sizes
+
+__all__ = [
+    "CacheStats",
+    "KeepAliveCache",
+    "WarmContainer",
+    "POLICY_NAMES",
+    "GreedyDualPolicy",
+    "HistogramPolicy",
+    "KeepAlivePolicy",
+    "LandlordPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "PreloadRequest",
+    "TTLPolicy",
+    "make_policy",
+    "HitRatioCurve",
+    "hit_ratio_curve",
+    "recommend_cache_size",
+    "reuse_distances",
+    "KeepAliveResult",
+    "KeepAliveSimulator",
+    "simulate",
+    "sweep_cache_sizes",
+]

@@ -1,0 +1,279 @@
+"""Memory-bounded warm-container cache.
+
+This is the core keep-alive data structure shared by the fast trace
+simulator (Figures 4/5) and the worker's container pool.  It tracks warm
+containers per function under a total memory budget, using a lazy-deletion
+min-heap ordered by policy priority for eviction, and lazy expiry for
+non-work-conserving policies (TTL/HIST).
+
+Performance notes (this is the hot loop of multi-million-invocation
+sweeps): entries use ``__slots__``; heap invalidation is by version stamp
+rather than heap surgery; per-function container lists are short so linear
+scans beat fancier indexes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from .entries import WarmContainer
+from .policies import KeepAlivePolicy
+
+__all__ = ["KeepAliveCache", "CacheStats"]
+
+
+class CacheStats:
+    """Counters the cache maintains as it runs."""
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "expirations",
+        "rejected",
+        "preloads",
+        "bytes_evicted_mb",
+    )
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.rejected = 0
+        self.preloads = 0
+        self.bytes_evicted_mb = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return float("nan")
+        return self.hits / self.accesses
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return float("nan")
+        return self.misses / self.accesses
+
+
+class KeepAliveCache:
+    """Warm containers under a memory budget, evicted by ``policy``."""
+
+    def __init__(
+        self,
+        policy: KeepAlivePolicy,
+        capacity_mb: float,
+        on_evict: Optional[Callable[[WarmContainer], None]] = None,
+    ):
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity_mb must be positive, got {capacity_mb}")
+        self.policy = policy
+        self.capacity_mb = float(capacity_mb)
+        self.used_mb = 0.0
+        self.stats = CacheStats()
+        self._containers: dict[str, list[WarmContainer]] = {}
+        # Lazy-deletion eviction heap of (priority, stamp, container).
+        self._evict_heap: list[tuple[float, int, int, WarmContainer]] = []
+        self._seq = 0
+        self._on_evict_cb = on_evict
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._containers.values())
+
+    def containers_of(self, fqdn: str) -> list[WarmContainer]:
+        return list(self._containers.get(fqdn, ()))
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self.used_mb
+
+    def set_capacity(self, capacity_mb: float, now: float) -> None:
+        """Resize the cache (dynamic provisioning); shrink evicts idle
+        containers immediately to get under the new budget."""
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity_mb must be positive, got {capacity_mb}")
+        self.capacity_mb = float(capacity_mb)
+        if self.used_mb > self.capacity_mb:
+            self._evict_until(self.used_mb - self.capacity_mb, now)
+
+    # -- heap plumbing -------------------------------------------------------
+    def _push_heap(self, container: WarmContainer) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._evict_heap,
+            (container.priority, container.stamp, self._seq, container),
+        )
+
+    def _restamp(self, container: WarmContainer) -> None:
+        container.stamp += 1
+        self._push_heap(container)
+
+    # -- expiry ------------------------------------------------------------
+    def expire(self, now: float) -> int:
+        """Evict every idle container whose policy expiry has passed.
+
+        TTL-like policies are non-work-conserving: containers leave the
+        cache even without memory pressure.  Called by the simulator before
+        each arrival batch and by the worker's background eviction thread.
+        """
+        expired = []
+        for containers in self._containers.values():
+            for c in containers:
+                if c.expires_at <= now and c.is_idle(now):
+                    expired.append(c)
+        for c in expired:
+            self._remove(c, expired_eviction=True)
+        return len(expired)
+
+    # -- main operations -----------------------------------------------------
+    def lookup(self, fqdn: str, now: float) -> Optional[WarmContainer]:
+        """Find an idle, unexpired warm container; count hit/miss; claim it.
+
+        On a hit the container is marked busy-until-now (the caller sets the
+        real completion time via :meth:`finish`) and its policy priority is
+        refreshed.
+        """
+        best = None
+        for c in self._containers.get(fqdn, ()):
+            if c.is_idle(now):
+                if c.expires_at <= now:
+                    continue  # lazily expired; reaped below
+                best = c
+                break
+        # Reap this function's expired idle containers lazily.
+        for c in list(self._containers.get(fqdn, ())):
+            if c is not best and c.expires_at <= now and c.is_idle(now):
+                self._remove(c, expired_eviction=True)
+        if best is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        # Claim the container: it is busy until the caller calls finish().
+        best.busy_until = float("inf")
+        self.policy.on_access(best, now)
+        self._restamp(best)
+        return best
+
+    def insert(
+        self,
+        fqdn: str,
+        memory_mb: float,
+        init_cost: float,
+        warm_time: float,
+        now: float,
+        prewarmed: bool = False,
+    ) -> Optional[WarmContainer]:
+        """Add a new warm container, evicting idle victims to make room.
+
+        Returns ``None`` when the memory cannot be freed (every resident
+        container is busy) — the invocation still runs but is not cached.
+        """
+        if memory_mb > self.capacity_mb:
+            self.stats.rejected += 1
+            return None
+        deficit = (self.used_mb + memory_mb) - self.capacity_mb
+        if deficit > 0 and not self._evict_until(deficit, now):
+            self.stats.rejected += 1
+            return None
+        container = WarmContainer(
+            fqdn=fqdn,
+            memory_mb=memory_mb,
+            init_cost=init_cost,
+            warm_time=warm_time,
+            now=now,
+            prewarmed=prewarmed,
+        )
+        self.policy.on_insert(container, now)
+        self._containers.setdefault(fqdn, []).append(container)
+        self.used_mb += container.memory_mb
+        self._push_heap(container)
+        if prewarmed:
+            self.stats.preloads += 1
+        return container
+
+    def finish(self, container: WarmContainer, busy_until: float) -> None:
+        """Mark the container busy until its invocation completes."""
+        container.busy_until = busy_until
+
+    def evict_one(self, now: float) -> Optional[WarmContainer]:
+        """Evict the lowest-priority idle container; None if all busy."""
+        buffer: list[tuple[float, int, int, WarmContainer]] = []
+        victim = None
+        while self._evict_heap:
+            pri, stamp, seq, cand = heapq.heappop(self._evict_heap)
+            if cand.evicted or stamp != cand.stamp:
+                continue  # stale heap entry
+            if not cand.is_idle(now):
+                buffer.append((pri, stamp, seq, cand))
+                continue
+            victim = cand
+            break
+        for item in buffer:
+            heapq.heappush(self._evict_heap, item)
+        if victim is None:
+            return None
+        self._remove(victim, expired_eviction=False)
+        return victim
+
+    def _evict_until(self, needed_mb: float, now: float) -> bool:
+        """Evict idle victims until ``needed_mb`` has been freed."""
+        freed = 0.0
+        evicted: list[WarmContainer] = []
+        while freed < needed_mb:
+            victim = self.evict_one(now)
+            if victim is None:
+                # Cannot free enough; the evictions already made stand
+                # (they were the policy's lowest-value containers anyway).
+                return False
+            freed += victim.memory_mb
+            evicted.append(victim)
+        return True
+
+    def _remove(self, container: WarmContainer, expired_eviction: bool) -> None:
+        containers = self._containers.get(container.fqdn)
+        if not containers or container not in containers:
+            raise KeyError(f"container {container!r} not resident")
+        containers.remove(container)
+        if not containers:
+            del self._containers[container.fqdn]
+        container.evicted = True
+        container.stamp += 1  # invalidate heap entries
+        self.used_mb -= container.memory_mb
+        if self.used_mb < 1e-9:
+            self.used_mb = 0.0
+        self.stats.evictions += 1
+        self.stats.bytes_evicted_mb += container.memory_mb
+        if expired_eviction:
+            self.stats.expirations += 1
+        self.policy.on_evict(container)
+        if self._on_evict_cb is not None:
+            self._on_evict_cb(container)
+
+    # -- invariants (used by property-based tests) ----------------------------
+    def check_invariants(self, now: Optional[float] = None) -> None:
+        """Assert internal consistency; raises AssertionError on violation.
+
+        The memory budget is a *soft* bound under capacity shrinks: busy
+        containers cannot be evicted, so overflow is allowed up to the
+        total busy footprint (checked when ``now`` is provided).
+        """
+        total = 0.0
+        busy = 0.0
+        for fqdn, containers in self._containers.items():
+            assert containers, f"empty list retained for {fqdn}"
+            for c in containers:
+                assert not c.evicted, f"evicted container resident: {c!r}"
+                assert c.fqdn == fqdn
+                total += c.memory_mb
+                if now is not None and not c.is_idle(now):
+                    busy += c.memory_mb
+        assert abs(total - self.used_mb) < 1e-6, (total, self.used_mb)
+        if now is not None:
+            assert self.used_mb <= self.capacity_mb + busy + 1e-6

@@ -1,0 +1,198 @@
+"""Reuse distances and hit-ratio curves (the paper's provisioning lens).
+
+"Caching concepts such as reuse distances and hit-ratio curves can also
+be used for auto-scaled server resource provisioning" (abstract).  This
+module computes, for a trace:
+
+* per-invocation **weighted reuse distances** — the total memory of
+  *distinct* functions invoked since this function's previous invocation
+  (Mattson stack distance, weighted by container footprint); and
+* the **hit-ratio curve** (HRC) — for each candidate cache size, the
+  fraction of invocations whose reuse distance fits, i.e. that an LRU
+  keep-alive cache of that size would serve warm;
+
+and uses the HRC to recommend the smallest cache size achieving a target
+cold-start ratio — static provisioning's analytical counterpart to the
+Figure-8 feedback controller.
+
+The computation uses a Fenwick (binary indexed) tree over access ranks,
+O(N log N) for N invocations, with the distance accounting done in MB so
+variable container sizes are handled exactly.  The model matches the
+keep-alive simulator's LRU behaviour up to concurrency effects (busy
+containers cannot be evicted; stack distances ignore that), which is the
+same approximation the caching literature makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..trace.model import Trace
+
+__all__ = [
+    "reuse_distances",
+    "HitRatioCurve",
+    "hit_ratio_curve",
+    "recommend_cache_size",
+]
+
+
+class _Fenwick:
+    """Fenwick tree over float weights, 1-indexed."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.tree = np.zeros(size + 1)
+
+    def add(self, i: int, delta: float) -> None:
+        i += 1
+        while i <= self.size:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> float:
+        """Sum of weights at indices [0, i]."""
+        i += 1
+        total = 0.0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return float(total)
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Sum over [lo, hi] inclusive; 0 when empty."""
+        if hi < lo:
+            return 0.0
+        return self.prefix(hi) - (self.prefix(lo - 1) if lo > 0 else 0.0)
+
+
+def reuse_distances(trace: Trace) -> np.ndarray:
+    """Weighted reuse distance (MB) per invocation; inf for first access.
+
+    distance[i] = total memory of distinct functions invoked strictly
+    between invocation i and the previous invocation of the same function.
+    An LRU cache of size >= distance[i] + memory(f) serves invocation i
+    warm (ignoring concurrency).
+    """
+    n = len(trace)
+    distances = np.full(n, np.inf)
+    if n == 0:
+        return distances
+    fenwick = _Fenwick(n)
+    last_access: dict[int, int] = {}   # function idx -> last access rank
+    memory = np.array([f.memory_mb for f in trace.functions])
+    fidx = trace.function_idx
+    for i in range(n):
+        f = int(fidx[i])
+        prev = last_access.get(f)
+        if prev is not None:
+            # Distinct-function memory touched in (prev, i).
+            distances[i] = fenwick.range_sum(prev + 1, i - 1)
+            fenwick.add(prev, -float(memory[f]))
+        fenwick.add(i, float(memory[f]))
+        last_access[f] = i
+    return distances
+
+
+@dataclass(frozen=True)
+class HitRatioCurve:
+    """Hit ratio as a function of cache size (MB).
+
+    ``sizes_mb``/``hit_ratios`` are a plot-friendly sampling; queries via
+    :meth:`hit_ratio_at` / :meth:`size_for_hit_ratio` are *exact* (the
+    curve retains the sorted per-invocation size requirements — the hit
+    ratio is a step function, and interpolating it misleads between
+    steps).
+    """
+
+    sizes_mb: np.ndarray
+    hit_ratios: np.ndarray
+    compulsory_miss_ratio: float  # first-access misses: no size fixes these
+    _sorted_required: np.ndarray = None
+    _n: int = 0
+
+    def hit_ratio_at(self, size_mb: float) -> float:
+        """Exact warm (hit) ratio at a cache size."""
+        if size_mb <= 0 or self._n == 0:
+            return 0.0
+        hits = int(np.searchsorted(self._sorted_required, size_mb,
+                                   side="right"))
+        return hits / self._n
+
+    def cold_ratio_at(self, size_mb: float) -> float:
+        return 1.0 - self.hit_ratio_at(size_mb)
+
+    def size_for_hit_ratio(self, target: float) -> Optional[float]:
+        """Smallest size achieving >= target hit ratio; None if unreachable."""
+        if not 0 <= target <= 1:
+            raise ValueError(f"target must be in [0, 1], got {target}")
+        if self._n == 0:
+            return None
+        if target <= 0:
+            return 0.0
+        k = int(np.ceil(target * self._n))  # need at least k hits
+        if k > self._sorted_required.size:
+            return None
+        return float(self._sorted_required[k - 1])
+
+
+def hit_ratio_curve(
+    trace: Trace,
+    sizes_mb: Optional[Sequence[float]] = None,
+    points: int = 64,
+) -> HitRatioCurve:
+    """Mattson-style HRC: one trace pass yields every cache size at once."""
+    distances = reuse_distances(trace)
+    n = distances.size
+    memory = np.array([f.memory_mb for f in trace.functions])
+    required = np.where(
+        np.isinf(distances),
+        np.inf,
+        distances + memory[trace.function_idx] if n else distances,
+    )
+    finite = required[np.isfinite(required)]
+    compulsory = float(np.isinf(required).sum() / n) if n else float("nan")
+
+    if sizes_mb is None:
+        if finite.size:
+            top = float(np.percentile(finite, 99.5))
+            sizes = np.unique(
+                np.concatenate([[0.0], np.linspace(0.0, max(top, 1.0), points)])
+            )
+        else:
+            sizes = np.array([0.0, 1.0])
+    else:
+        sizes = np.sort(np.asarray(list(sizes_mb), dtype=float))
+    if n == 0:
+        return HitRatioCurve(sizes, np.zeros(sizes.size), float("nan"),
+                             _sorted_required=np.empty(0), _n=0)
+
+    sorted_required = np.sort(finite)
+    hits = np.searchsorted(sorted_required, sizes, side="right")
+    ratios = hits / n
+    return HitRatioCurve(sizes_mb=sizes, hit_ratios=ratios,
+                         compulsory_miss_ratio=compulsory,
+                         _sorted_required=sorted_required, _n=n)
+
+
+def recommend_cache_size(
+    trace: Trace,
+    target_cold_ratio: float,
+    points: int = 256,
+) -> Optional[float]:
+    """Smallest cache size (MB) whose predicted cold ratio meets the target.
+
+    Returns None when the target is below the compulsory miss ratio (no
+    amount of keep-alive memory avoids first-ever invocations).
+    """
+    if not 0 <= target_cold_ratio <= 1:
+        raise ValueError("target_cold_ratio must be in [0, 1]")
+    curve = hit_ratio_curve(trace, points=points)
+    if target_cold_ratio < curve.compulsory_miss_ratio:
+        return None
+    return curve.size_for_hit_ratio(1.0 - target_cold_ratio)

@@ -1,0 +1,25 @@
+"""Load balancing: CH-BL and the cluster front end."""
+
+from .chbl import BoundedLoadBalancer, ConsistentHashRing, hash_point
+from .cluster import Cluster
+from .policies import (
+    CHBLPolicy,
+    LeastLoadedBalancer,
+    LoadBalancingPolicy,
+    RoundRobinBalancer,
+    StatusBoard,
+    make_balancer,
+)
+
+__all__ = [
+    "BoundedLoadBalancer",
+    "ConsistentHashRing",
+    "hash_point",
+    "Cluster",
+    "CHBLPolicy",
+    "LeastLoadedBalancer",
+    "LoadBalancingPolicy",
+    "RoundRobinBalancer",
+    "StatusBoard",
+    "make_balancer",
+]

@@ -1,0 +1,125 @@
+"""A cluster: several workers behind the CH-BL load balancer.
+
+The cluster front end exposes the same invocation surface as a single
+worker (the worker API is deliberately a subset of the overall API, per
+the paper), so experiments and load generators can target either.
+Registrations are broadcast to every worker; placement is per-invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.config import WorkerConfig
+from ..core.function import FunctionRegistration
+from ..core.worker import Worker
+from ..errors import FunctionNotRegistered
+from ..sim.core import Environment, Event
+from .chbl import BoundedLoadBalancer
+from .policies import StatusBoard, make_balancer
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A load-balanced pool of Ilúvatar workers (CH-BL by default).
+
+    ``lb_policy`` selects the balancing scheme ("ch_bl", "round_robin",
+    "least_loaded"); ``status_interval`` makes load decisions act on
+    periodic status snapshots instead of live state (None = live).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        num_workers: int = 2,
+        config: Optional[WorkerConfig] = None,
+        bound_factor: float = 1.2,
+        rpc_latency: float = 0.0005,
+        lb_policy: str = "ch_bl",
+        status_interval: Optional[float] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if rpc_latency < 0:
+            raise ValueError("rpc_latency must be non-negative")
+        self.env = env
+        base = config or WorkerConfig()
+        self.workers: dict[str, Worker] = {}
+        for i in range(num_workers):
+            cfg = base.with_overrides(name=f"{base.name}-{i}", seed=base.seed + i)
+            self.workers[cfg.name] = Worker(env, cfg)
+        self.status_board = StatusBoard(
+            clock=lambda: env.now,
+            live_load_fn=self._worker_load,
+            interval=status_interval,
+        )
+        self.balancer = make_balancer(
+            lb_policy, self.status_board.load, bound_factor=bound_factor
+        )
+        for name in self.workers:
+            self.balancer.add_worker(name)
+        self.rpc_latency = float(rpc_latency)
+        self.registrations: dict[str, FunctionRegistration] = {}
+        self.placements = 0
+
+    def _worker_load(self, name: str) -> float:
+        w = self.workers[name]
+        return len(w.queue) + w.load.running
+
+    # ---------------------------------------------------------------- API
+    def start(self) -> None:
+        for w in self.workers.values():
+            w.start()
+
+    def stop(self) -> None:
+        for w in self.workers.values():
+            w.stop()
+
+    def register_sync(self, registration: FunctionRegistration) -> str:
+        fqdn = registration.fqdn()
+        self.registrations[fqdn] = registration
+        for w in self.workers.values():
+            if fqdn not in w.registrations:
+                w.register_sync(registration)
+        return fqdn
+
+    def async_invoke(self, fqdn: str, args=None) -> Event:
+        if fqdn not in self.registrations:
+            raise FunctionNotRegistered(fqdn)
+        target = self.balancer.pick(fqdn)
+        self.placements += 1
+        worker = self.workers[target]
+        if self.rpc_latency <= 0:
+            return worker.async_invoke(fqdn, args)
+        # Model the LB->worker RPC hop without blocking the caller.
+        done = self.env.event()
+
+        def forward():
+            yield self.env.timeout(self.rpc_latency)
+            inner = worker.async_invoke(fqdn, args)
+            inv = yield inner
+            done.succeed(inv)
+
+        self.env.process(forward(), name=f"lb-forward-{fqdn}")
+        return done
+
+    def invoke(self, fqdn: str, args=None):
+        done = self.async_invoke(fqdn, args)
+        inv = yield done
+        return inv
+
+    # -------------------------------------------------------------- status
+    def status(self) -> dict:
+        return {
+            "workers": {name: w.status() for name, w in self.workers.items()},
+            "policy": self.balancer.name,
+            "forwards": getattr(self.balancer, "forwards", 0),
+            "placements": self.placements,
+        }
+
+    def records(self) -> list:
+        out = []
+        for w in self.workers.values():
+            out.extend(w.metrics.records)
+        return out

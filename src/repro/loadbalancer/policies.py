@@ -1,0 +1,171 @@
+"""Load-balancing policies beyond CH-BL, and the worker-status board.
+
+The paper argues for locality-aware CH-BL over locality-blind schemes;
+to make that comparison runnable this module provides the classic
+baselines (round-robin, least-loaded) behind one interface, plus a
+:class:`StatusBoard` that models the *staleness* of load information —
+workers push status snapshots periodically, and the balancer decides on
+the last snapshot rather than live state (the reality the paper's
+queue-length-based load signal is meant to improve on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence
+
+from .chbl import BoundedLoadBalancer
+
+__all__ = [
+    "LoadBalancingPolicy",
+    "RoundRobinBalancer",
+    "LeastLoadedBalancer",
+    "CHBLPolicy",
+    "StatusBoard",
+    "make_balancer",
+]
+
+
+class LoadBalancingPolicy:
+    """Maps an invocation's function to a worker name."""
+
+    name = "base"
+
+    def add_worker(self, name: str) -> None:
+        raise NotImplementedError
+
+    def remove_worker(self, name: str) -> None:
+        raise NotImplementedError
+
+    def pick(self, fqdn: str) -> str:
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(LoadBalancingPolicy):
+    """Locality-blind rotation — the classic strawman."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._workers: list[str] = []
+        self._cursor = itertools.count()
+
+    def add_worker(self, name: str) -> None:
+        if name in self._workers:
+            raise ValueError(f"worker {name!r} already registered")
+        self._workers.append(name)
+
+    def remove_worker(self, name: str) -> None:
+        self._workers.remove(name)
+
+    def pick(self, fqdn: str) -> str:
+        if not self._workers:
+            raise RuntimeError("no workers registered")
+        return self._workers[next(self._cursor) % len(self._workers)]
+
+
+class LeastLoadedBalancer(LoadBalancingPolicy):
+    """Send every invocation to the currently least-loaded worker."""
+
+    name = "least_loaded"
+
+    def __init__(self, load_fn: Callable[[str], float]):
+        self._workers: list[str] = []
+        self.load_fn = load_fn
+
+    def add_worker(self, name: str) -> None:
+        if name in self._workers:
+            raise ValueError(f"worker {name!r} already registered")
+        self._workers.append(name)
+
+    def remove_worker(self, name: str) -> None:
+        self._workers.remove(name)
+
+    def pick(self, fqdn: str) -> str:
+        if not self._workers:
+            raise RuntimeError("no workers registered")
+        return min(self._workers, key=self.load_fn)
+
+
+class CHBLPolicy(LoadBalancingPolicy):
+    """The paper's scheme, adapted to the shared policy interface."""
+
+    name = "ch_bl"
+
+    def __init__(self, load_fn: Callable[[str], float], bound_factor: float = 1.2,
+                 vnodes: int = 64):
+        self._inner = BoundedLoadBalancer(load_fn, bound_factor=bound_factor,
+                                          vnodes=vnodes)
+
+    @property
+    def forwards(self) -> int:
+        return self._inner.forwards
+
+    @property
+    def placements(self) -> int:
+        return self._inner.placements
+
+    def add_worker(self, name: str) -> None:
+        self._inner.add_worker(name)
+
+    def remove_worker(self, name: str) -> None:
+        self._inner.remove_worker(name)
+
+    def pick(self, fqdn: str) -> str:
+        return self._inner.pick(fqdn)
+
+
+class StatusBoard:
+    """Periodic worker-status snapshots (models load-signal staleness).
+
+    ``interval=None`` reads live state on every query (the idealized
+    default the Cluster used before); a positive interval re-snapshots at
+    most that often, so balancer decisions act on data up to ``interval``
+    seconds old.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        live_load_fn: Callable[[str], float],
+        interval: Optional[float] = None,
+    ):
+        if interval is not None and interval <= 0:
+            raise ValueError("interval must be positive (or None for live)")
+        self._clock = clock
+        self._live = live_load_fn
+        self.interval = interval
+        self._snapshot: dict[str, float] = {}
+        self._snapped_at: Optional[float] = None
+        self.refreshes = 0
+
+    def load(self, worker: str) -> float:
+        if self.interval is None:
+            return self._live(worker)
+        now = self._clock()
+        if self._snapped_at is None or now - self._snapped_at >= self.interval:
+            # A fresh round of status reports arrived.
+            self._snapshot = {}
+            self._snapped_at = now
+            self.refreshes += 1
+        if worker not in self._snapshot:
+            self._snapshot[worker] = self._live(worker)
+        return self._snapshot[worker]
+
+
+def make_balancer(
+    name: str,
+    load_fn: Callable[[str], float],
+    bound_factor: float = 1.2,
+) -> LoadBalancingPolicy:
+    """Factory by policy name."""
+    table = {
+        "ch_bl": lambda: CHBLPolicy(load_fn, bound_factor=bound_factor),
+        "chbl": lambda: CHBLPolicy(load_fn, bound_factor=bound_factor),
+        "round_robin": RoundRobinBalancer,
+        "least_loaded": lambda: LeastLoadedBalancer(load_fn),
+    }
+    ctor = table.get(name.lower())
+    if ctor is None:
+        raise ValueError(f"unknown balancer {name!r}; choose from {sorted(table)}")
+    return ctor()

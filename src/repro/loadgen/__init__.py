@@ -1,0 +1,24 @@
+"""Load generation: closed-loop clients and open-loop plans."""
+
+from .closed import ClosedLoopClient, ClosedLoopResult, run_closed_loop
+from .empirical import empirical_mixes, mixes_from_trace
+from .openloop import (
+    FunctionMix,
+    InvocationPlan,
+    build_plan,
+    plan_from_trace,
+    replay_plan,
+)
+
+__all__ = [
+    "ClosedLoopClient",
+    "ClosedLoopResult",
+    "run_closed_loop",
+    "empirical_mixes",
+    "mixes_from_trace",
+    "FunctionMix",
+    "InvocationPlan",
+    "build_plan",
+    "plan_from_trace",
+    "replay_plan",
+]

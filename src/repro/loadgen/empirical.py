@@ -1,0 +1,80 @@
+"""Trace-derived empirical load generation (Section 5.1).
+
+"The functions' IAT distributions can be exponential, or be derived from
+empirical FaaS traces like the Azure trace."  This module builds
+:class:`~repro.loadgen.openloop.FunctionMix` entries whose inter-arrival
+times are sampled from each function's *observed* IAT CDF in a trace,
+with per-function scale factors for popularity-sensitivity experiments
+(e.g. examining system performance when one function's popularity
+changes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..sim.distributions import Empirical, Exponential
+from ..trace.model import Trace
+from .openloop import FunctionMix
+
+__all__ = ["empirical_mixes", "mixes_from_trace"]
+
+
+def empirical_mixes(
+    trace: Trace,
+    scale: float = 1.0,
+    per_function_scale: Optional[dict[str, float]] = None,
+    min_samples: int = 2,
+    version: int = 1,
+) -> list[FunctionMix]:
+    """One FunctionMix per trace function, IATs drawn from its own CDF.
+
+    Functions with fewer than ``min_samples`` observed IATs fall back to
+    an exponential at their mean rate over the trace.  ``scale`` > 1
+    stretches every IAT (lower load); ``per_function_scale`` overrides the
+    factor for named functions (popularity sensitivity).
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    per_function_scale = per_function_scale or {}
+    mixes: list[FunctionMix] = []
+    for i, f in enumerate(trace.functions):
+        ts = trace.timestamps[trace.function_idx == i]
+        factor = scale * per_function_scale.get(f.name, 1.0)
+        if factor <= 0:
+            raise ValueError(f"scale for {f.name!r} must be positive")
+        fqdn = f"{f.name}.{version}"
+        if ts.size >= min_samples + 1:
+            iats = np.diff(ts)
+            iats = iats[iats > 0]
+            if iats.size >= min_samples:
+                mixes.append(
+                    FunctionMix(fqdn, Empirical(iats, scale=factor),
+                                start_offset=float(ts[0]))
+                )
+                continue
+        if ts.size >= 1 and trace.duration > 0:
+            mean_iat = trace.duration / ts.size
+            mixes.append(FunctionMix(fqdn, Exponential(mean_iat * factor)))
+    return mixes
+
+
+def mixes_from_trace(
+    trace: Trace,
+    target_load: Optional[float] = None,
+    version: int = 1,
+) -> list[FunctionMix]:
+    """Empirical mixes, optionally scaled to a Little's-law target load."""
+    scale = 1.0
+    if target_load is not None:
+        if target_load <= 0:
+            raise ValueError("target_load must be positive")
+        from ..trace.scaling import little_load
+
+        current = little_load(trace)
+        if current <= 0:
+            raise ValueError("trace has zero load; cannot scale")
+        scale = current / target_load
+    return empirical_mixes(trace, scale=scale, version=version)

@@ -1,0 +1,23 @@
+"""Metrics substrate: spans, counters, summaries, simulated energy."""
+
+from .energy import EnergyModel, EnergyMonitor
+from .registry import InvocationRecord, MetricsRegistry, Outcome
+from .spans import SPAN_GROUPS, Span, SpanRecorder, load_spans_jsonl
+from .stats import LatencySummary, OnlineStats, bin_timeseries, percentile, summarize
+
+__all__ = [
+    "EnergyModel",
+    "EnergyMonitor",
+    "InvocationRecord",
+    "MetricsRegistry",
+    "Outcome",
+    "SPAN_GROUPS",
+    "Span",
+    "SpanRecorder",
+    "load_spans_jsonl",
+    "LatencySummary",
+    "OnlineStats",
+    "bin_timeseries",
+    "percentile",
+    "summarize",
+]

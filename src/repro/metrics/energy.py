@@ -1,0 +1,74 @@
+"""Simulated energy accounting (stand-in for RAPL / external power meters).
+
+The paper's worker tracks system energy via RAPL and wall power meters
+(Section 5.1).  No evaluation artifact in the reproduced text depends on
+absolute energy numbers, so this module provides the metrics *plumbing*: a
+simple linear power model integrated over busy CPU-seconds, exposed through
+the same monitoring interface as the rest of the metrics stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EnergyModel", "EnergyMonitor"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Linear server power model: idle floor plus per-active-core increment.
+
+    Defaults loosely follow a dual-socket Xeon class machine (the paper's
+    testbed is a 48-core Xeon Platinum): ~120 W idle, ~3.5 W per busy core.
+    """
+
+    idle_watts: float = 120.0
+    watts_per_core: float = 3.5
+
+    def power(self, busy_cores: float) -> float:
+        if busy_cores < 0:
+            raise ValueError(f"busy_cores must be non-negative, got {busy_cores}")
+        return self.idle_watts + self.watts_per_core * busy_cores
+
+
+@dataclass
+class EnergyMonitor:
+    """Integrates the power model over time as load changes.
+
+    Call :meth:`update` whenever the number of busy cores changes; the
+    monitor accumulates energy for the elapsed interval at the previous
+    load level (exact for piecewise-constant load).
+    """
+
+    clock: Callable[[], float]
+    model: EnergyModel = field(default_factory=EnergyModel)
+    _busy_cores: float = 0.0
+    _last_time: float = field(default=0.0)
+    _joules: float = 0.0
+    _started: bool = False
+
+    def update(self, busy_cores: float) -> None:
+        now = self.clock()
+        if self._started:
+            dt = now - self._last_time
+            if dt < 0:
+                raise ValueError("clock went backwards")
+            self._joules += self.model.power(self._busy_cores) * dt
+        else:
+            self._started = True
+        self._busy_cores = float(busy_cores)
+        self._last_time = now
+
+    def finish(self) -> float:
+        """Close the current interval and return total joules."""
+        self.update(self._busy_cores)
+        return self._joules
+
+    @property
+    def joules(self) -> float:
+        return self._joules
+
+    @property
+    def busy_cores(self) -> float:
+        return self._busy_cores

@@ -1,0 +1,173 @@
+"""Span-based component tracing, modelled on Ilúvatar's use of the Rust
+``tracing`` crate (Section 5.1).
+
+Every worker component wraps its work in a named span; spans record the
+simulated (or wall-clock) duration and are grouped by name.  Table 2 of the
+paper — the per-component latency breakdown of a single warm invocation —
+is regenerated directly from these spans.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+from .stats import LatencySummary, summarize
+
+__all__ = ["Span", "SpanRecorder", "SPAN_GROUPS", "load_spans_jsonl"]
+
+# Paper Table 2 grouping of worker components.
+SPAN_GROUPS: dict[str, str] = {
+    "invoke": "Ingestion & Queuing",
+    "sync_invoke": "Ingestion & Queuing",
+    "enqueue_invocation": "Ingestion & Queuing",
+    "add_item_to_q": "Ingestion & Queuing",
+    "spawn_worker": "Container Operations",
+    "dequeue": "Container Operations",
+    "acquire_container": "Container Operations",
+    "try_lock_container": "Container Operations",
+    "prepare_invoke": "Agent Communication",
+    "call_container": "Agent Communication",
+    "download_result": "Agent Communication",
+    "return_container": "Returning",
+    "return_results": "Returning",
+}
+
+
+@dataclass
+class Span:
+    """One completed span: a named interval with optional invocation tag."""
+
+    name: str
+    start: float
+    end: float
+    tag: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SpanRecorder:
+    """Collects spans; ``clock`` supplies the current time.
+
+    The recorder is deliberately tolerant of high volume: per-span storage
+    is an append to a per-name list, and all reduction is deferred.
+    """
+
+    clock: Callable[[], float]
+    enabled: bool = True
+    _durations: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+    _spans: list[Span] = field(default_factory=list)
+    keep_spans: bool = False
+
+    @contextmanager
+    def span(self, name: str, tag: Optional[str] = None) -> Iterator[None]:
+        """Context manager timing a component by the recorder's clock."""
+        if not self.enabled:
+            yield
+            return
+        start = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            self._durations[name].append(end - start)
+            if self.keep_spans:
+                self._spans.append(Span(name=name, start=start, end=end, tag=tag))
+
+    def record(self, name: str, duration: float, tag: Optional[str] = None) -> None:
+        """Record an externally measured duration under ``name``."""
+        if not self.enabled:
+            return
+        if duration < 0:
+            raise ValueError(f"negative span duration: {duration}")
+        self._durations[name].append(duration)
+        if self.keep_spans:
+            now = self.clock()
+            self._spans.append(Span(name=name, start=now - duration, end=now, tag=tag))
+
+    # -- reporting ---------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._durations)
+
+    def durations(self, name: str) -> list[float]:
+        return list(self._durations.get(name, []))
+
+    def summary(self, name: str) -> LatencySummary:
+        return summarize(self._durations.get(name, []))
+
+    def mean(self, name: str) -> float:
+        values = self._durations.get(name)
+        if not values:
+            return float("nan")
+        return sum(values) / len(values)
+
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def breakdown_table(self, scale: float = 1.0) -> list[dict]:
+        """Rows in the shape of paper Table 2: group, name, mean time.
+
+        ``scale`` converts the clock unit into the reporting unit (e.g.
+        1000.0 for seconds → milliseconds).
+        """
+        rows = []
+        for name in SPAN_GROUPS:
+            if name in self._durations:
+                rows.append(
+                    {
+                        "group": SPAN_GROUPS[name],
+                        "function": name,
+                        "time": self.mean(name) * scale,
+                    }
+                )
+        # Components outside the canonical table come last, alphabetically.
+        for name in sorted(set(self._durations) - set(SPAN_GROUPS)):
+            rows.append(
+                {
+                    "group": "Other",
+                    "function": name,
+                    "time": self.mean(name) * scale,
+                }
+            )
+        return rows
+
+    def reset(self) -> None:
+        self._durations.clear()
+        self._spans.clear()
+
+    def dump_jsonl(self, path: Union[str, Path]) -> int:
+        """Write retained spans as JSON lines (one span per line), the
+        fine-grained logging the paper's ``tracing`` instrumentation
+        provides for offline analysis.  Requires ``keep_spans``.
+        Returns the number of spans written."""
+        spans = self._spans
+        with open(path, "w") as fh:
+            for span in spans:
+                fh.write(json.dumps({
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                    "tag": span.tag,
+                }) + "\n")
+        return len(spans)
+
+
+def load_spans_jsonl(path: Union[str, Path]) -> list[Span]:
+    """Read spans written by :meth:`SpanRecorder.dump_jsonl`."""
+    spans: list[Span] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            spans.append(Span(name=data["name"], start=data["start"],
+                              end=data["end"], tag=data.get("tag")))
+    return spans

@@ -1,0 +1,5 @@
+"""Dynamic resource provisioning via miss-speed control."""
+
+from .controller import MissSpeedController, ProvisioningConfig
+
+__all__ = ["MissSpeedController", "ProvisioningConfig"]

@@ -1,0 +1,114 @@
+"""Dynamic vertical cache scaling (the paper's provisioning policy, Fig 8).
+
+The controller keeps the *miss speed* — cold starts per second — near a
+pre-specified target by resizing the keep-alive cache, using a
+proportional controller that only acts when the relative error exceeds a
+tolerance band (the paper uses 30%, chosen conservatively to avoid
+memory-size churn and fragmentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ProvisioningConfig", "MissSpeedController"]
+
+
+@dataclass(frozen=True)
+class ProvisioningConfig:
+    """Controller parameters (defaults follow the paper's experiment)."""
+
+    target_miss_speed: float = 0.0015     # cold starts / second
+    error_tolerance: float = 0.30         # act only beyond +/-30%
+    gain: float = 0.5                     # proportional gain (relative)
+    min_size_mb: float = 512.0
+    max_size_mb: float = 10_000.0         # the static provision it undercuts
+    initial_size_mb: float = 10_000.0
+    window: float = 300.0                 # miss-speed measurement window (s)
+
+    def __post_init__(self):
+        if self.target_miss_speed <= 0:
+            raise ValueError("target_miss_speed must be positive")
+        if not 0 <= self.error_tolerance:
+            raise ValueError("error_tolerance must be non-negative")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        if not 0 < self.min_size_mb <= self.initial_size_mb <= self.max_size_mb:
+            raise ValueError("need min <= initial <= max cache size")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+
+@dataclass
+class SizeSample:
+    time: float
+    size_mb: float
+    miss_speed: float
+    resized: bool
+
+
+class MissSpeedController:
+    """Proportional controller on the cold-start rate.
+
+    Feed it ``(now, cumulative_cold_starts)`` once per window via
+    :meth:`update`; it returns the new cache size (MB).  Designed to be
+    wired to :class:`~repro.keepalive.simulator.KeepAliveSimulator` through
+    its ``on_tick`` hook, or to a live worker's memory gauge.
+    """
+
+    def __init__(self, config: Optional[ProvisioningConfig] = None):
+        self.config = config or ProvisioningConfig()
+        self.size_mb = self.config.initial_size_mb
+        self._last_time: Optional[float] = None
+        self._last_cold = 0
+        self.history: list[SizeSample] = []
+
+    def update(self, now: float, cumulative_cold_starts: int) -> float:
+        """One control step; returns the (possibly resized) cache size."""
+        cfg = self.config
+        if self._last_time is None:
+            self._last_time = now
+            self._last_cold = cumulative_cold_starts
+            return self.size_mb
+        dt = now - self._last_time
+        if dt <= 0:
+            return self.size_mb
+        miss_speed = (cumulative_cold_starts - self._last_cold) / dt
+        self._last_time = now
+        self._last_cold = cumulative_cold_starts
+
+        error = (miss_speed - cfg.target_miss_speed) / cfg.target_miss_speed
+        resized = False
+        if abs(error) > cfg.error_tolerance:
+            # Misses above target -> grow the cache; below -> shrink.
+            self.size_mb *= 1.0 + cfg.gain * error
+            self.size_mb = min(max(self.size_mb, cfg.min_size_mb), cfg.max_size_mb)
+            resized = True
+        self.history.append(
+            SizeSample(time=now, size_mb=self.size_mb, miss_speed=miss_speed,
+                       resized=resized)
+        )
+        return self.size_mb
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def average_size_mb(self) -> float:
+        if not self.history:
+            return self.size_mb
+        return sum(s.size_mb for s in self.history) / len(self.history)
+
+    def savings_vs_static(self, static_mb: Optional[float] = None) -> float:
+        """Fractional memory saving vs a static provision (paper: ~30%)."""
+        static = static_mb if static_mb is not None else self.config.max_size_mb
+        if static <= 0:
+            raise ValueError("static size must be positive")
+        return 1.0 - self.average_size_mb / static
+
+    def timeseries(self) -> tuple[list[float], list[float], list[float]]:
+        """(times, sizes_mb, miss_speeds) for plotting Figure 8."""
+        return (
+            [s.time for s in self.history],
+            [s.size_mb for s in self.history],
+            [s.miss_speed for s in self.history],
+        )

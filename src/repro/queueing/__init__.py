@@ -1,0 +1,31 @@
+"""Per-worker invocation queueing: disciplines, bypass, regulator."""
+
+from .bypass import BypassPolicy, NoBypass, ShortFunctionBypass
+from .policies import (
+    QUEUE_POLICY_NAMES,
+    EEDFPolicy,
+    FCFSPolicy,
+    MQFQPolicy,
+    QueuePolicy,
+    RAREPolicy,
+    SJFPolicy,
+    make_queue_policy,
+)
+from .regulator import AIMDConfig, ConcurrencyRegulator, LoadTracker
+
+__all__ = [
+    "BypassPolicy",
+    "NoBypass",
+    "ShortFunctionBypass",
+    "QUEUE_POLICY_NAMES",
+    "EEDFPolicy",
+    "FCFSPolicy",
+    "MQFQPolicy",
+    "QueuePolicy",
+    "RAREPolicy",
+    "SJFPolicy",
+    "make_queue_policy",
+    "AIMDConfig",
+    "ConcurrencyRegulator",
+    "LoadTracker",
+]

@@ -1,0 +1,77 @@
+"""Queue-bypass policies (Section 4.1).
+
+Queuing adds waiting time that hurts small functions disproportionately.
+The bypass mechanism lets selected invocations skip the queue and run
+immediately; the shipped policy is the paper's short-function bypass:
+functions whose expected duration is below a threshold bypass, as long as
+the system load average is under a limit.
+"""
+
+from __future__ import annotations
+
+from ..core.characteristics import CharacteristicsMap
+from ..core.function import Invocation
+from .regulator import LoadTracker
+
+__all__ = ["BypassPolicy", "NoBypass", "ShortFunctionBypass"]
+
+
+class BypassPolicy:
+    """Decides whether an invocation may skip the queue."""
+
+    name = "base"
+
+    def should_bypass(self, inv: Invocation, warm_available: bool) -> bool:
+        raise NotImplementedError
+
+
+class NoBypass(BypassPolicy):
+    """Every invocation goes through the queue."""
+
+    name = "none"
+
+    def should_bypass(self, inv: Invocation, warm_available: bool) -> bool:
+        return False
+
+
+class ShortFunctionBypass(BypassPolicy):
+    """Bypass for expected-short functions while the system is lightly loaded."""
+
+    name = "short"
+
+    def __init__(
+        self,
+        characteristics: CharacteristicsMap,
+        load: LoadTracker,
+        duration_threshold: float = 0.100,
+        load_limit: float = 0.9,
+    ):
+        if duration_threshold < 0:
+            raise ValueError("duration_threshold must be non-negative")
+        if load_limit <= 0:
+            raise ValueError("load_limit must be positive")
+        self.characteristics = characteristics
+        self.load = load
+        self.duration_threshold = float(duration_threshold)
+        self.load_limit = float(load_limit)
+
+    def should_bypass(self, inv: Invocation, warm_available: bool) -> bool:
+        stats = self.characteristics.get(inv.function.fqdn())
+        if stats.exec_all.count == 0:
+            # No execution evidence yet (the arrival may already be
+            # recorded); the queue's zero-estimate fast-path prioritizes
+            # unseen functions instead — bypassing them would re-create
+            # the concurrent-cold-start herd the queue exists to prevent.
+            return False
+        expected = self.characteristics.expected_exec_time(
+            inv.function.fqdn(), warm_available
+        )
+        if expected <= 0.0:
+            # Only cold runs observed so far: fall back to the overall
+            # execution history rather than treating the function as
+            # instantaneous.
+            expected = stats.exec_all.value
+        return (
+            expected <= self.duration_threshold
+            and self.load.normalized < self.load_limit
+        )

@@ -1,0 +1,168 @@
+"""Invocation-queue disciplines (Section 4.2, "Queuing Policies").
+
+Each policy maps an invocation (plus the worker's learned function
+characteristics) to a scalar priority; the per-worker queue is a priority
+heap, lowest value dispatched first.
+
+* **FCFS** — arrival order.
+* **SJF**  — shortest (expected) job first: reduces short-function waits,
+  can starve long functions.
+* **EEDF** — earliest effective deadline first (the paper's default):
+  deadline = arrival + expected execution, balancing duration and arrival.
+* **RARE** — most-unexpected first: prioritizes the largest inter-arrival
+  time.
+* **MQFQ** — start-time fair queueing over per-function flows (the
+  multi-queue fair-queueing design the paper's follow-on GPU work adopts
+  from Hedayati et al.): a flooding function cannot starve others,
+  because each flow's tags advance with its own consumed service.
+
+SJF and EEDF use the function's moving-window *warm* time when a warm
+container is expected, its *cold* time otherwise — which naturally spreads
+bursts of one function through the queue and cuts concurrent cold starts.
+New, unseen functions estimate 0 and therefore jump the queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.characteristics import CharacteristicsMap
+from ..core.function import Invocation
+
+__all__ = [
+    "QueuePolicy",
+    "FCFSPolicy",
+    "SJFPolicy",
+    "EEDFPolicy",
+    "RAREPolicy",
+    "MQFQPolicy",
+    "make_queue_policy",
+    "QUEUE_POLICY_NAMES",
+]
+
+
+class QueuePolicy:
+    """Base queue discipline."""
+
+    name = "base"
+
+    def __init__(self, characteristics: CharacteristicsMap):
+        self.characteristics = characteristics
+
+    def expected_exec_time(self, inv: Invocation, warm_available: bool) -> float:
+        return self.characteristics.expected_exec_time(
+            inv.function.fqdn(), warm_available
+        )
+
+    def priority(self, inv: Invocation, warm_available: bool) -> float:
+        """Lower dispatches first."""
+        raise NotImplementedError
+
+    def on_dispatch(self, inv: Invocation) -> None:
+        """Hook: the dispatcher pulled this invocation off the queue."""
+
+
+class FCFSPolicy(QueuePolicy):
+    """First come, first served: priority is arrival time."""
+
+    name = "fcfs"
+
+    def priority(self, inv: Invocation, warm_available: bool) -> float:
+        return inv.arrival
+
+
+class SJFPolicy(QueuePolicy):
+    """Shortest (expected) job first."""
+
+    name = "sjf"
+
+    def priority(self, inv: Invocation, warm_available: bool) -> float:
+        return self.expected_exec_time(inv, warm_available)
+
+
+class EEDFPolicy(QueuePolicy):
+    """Earliest effective deadline first: arrival + expected execution."""
+
+    name = "eedf"
+
+    def priority(self, inv: Invocation, warm_available: bool) -> float:
+        return inv.arrival + self.expected_exec_time(inv, warm_available)
+
+
+class RAREPolicy(QueuePolicy):
+    """Most-unexpected-function-first: highest inter-arrival time wins."""
+
+    name = "rare"
+
+    def priority(self, inv: Invocation, warm_available: bool) -> float:
+        stats = self.characteristics.get(inv.function.fqdn())
+        # Negative so the largest IAT has the lowest (best) priority.
+        return -stats.avg_iat
+
+
+class MQFQPolicy(QueuePolicy):
+    """Start-time fair queueing over per-function flows (MQFQ-style).
+
+    Each function is a flow.  An invocation's start tag is
+    ``max(virtual_time, flow's last finish tag)``; its finish tag adds its
+    expected service time.  The queue dispatches lowest start tag first,
+    and the virtual time advances to each dispatched start tag (the
+    worker's dispatcher calls :meth:`on_dispatch`).  A function flooding
+    the queue only pushes *its own* tags into the future, so sparse
+    functions dispatch promptly — fairness without starving throughput.
+
+    Expected service uses the same warm/cold estimate as SJF/EEDF; new
+    functions get a minimal but positive charge so their tags still
+    advance under a flood of unknown functions.
+    """
+
+    name = "mqfq"
+
+    MIN_SERVICE = 0.001  # tag advance floor (seconds of virtual service)
+
+    def __init__(self, characteristics: CharacteristicsMap):
+        super().__init__(characteristics)
+        self.virtual_time = 0.0
+        self._flow_finish: dict[str, float] = {}
+        self._start_tags: dict[int, float] = {}
+
+    def priority(self, inv: Invocation, warm_available: bool) -> float:
+        fqdn = inv.function.fqdn()
+        service = max(
+            self.expected_exec_time(inv, warm_available), self.MIN_SERVICE
+        )
+        start = max(self.virtual_time, self._flow_finish.get(fqdn, 0.0))
+        self._flow_finish[fqdn] = start + service
+        self._start_tags[inv.id] = start
+        return start
+
+    def on_dispatch(self, inv: Invocation) -> None:
+        start = self._start_tags.pop(inv.id, None)
+        if start is not None and start > self.virtual_time:
+            self.virtual_time = start
+
+    def forget(self, inv: Invocation) -> None:
+        """Drop bookkeeping for an invocation that never dispatches."""
+        self._start_tags.pop(inv.id, None)
+
+
+QUEUE_POLICY_NAMES = ("fcfs", "sjf", "eedf", "rare", "mqfq")
+
+_POLICIES: dict[str, Callable[..., QueuePolicy]] = {
+    "fcfs": FCFSPolicy,
+    "fifo": FCFSPolicy,
+    "sjf": SJFPolicy,
+    "eedf": EEDFPolicy,
+    "rare": RAREPolicy,
+    "mqfq": MQFQPolicy,
+    "sfq": MQFQPolicy,
+}
+
+
+def make_queue_policy(name: str, characteristics: CharacteristicsMap) -> QueuePolicy:
+    cls = _POLICIES.get(name.lower())
+    if cls is None:
+        raise ValueError(
+            f"unknown queue policy {name!r}; choose from {sorted(_POLICIES)}"
+        )
+    return cls(characteristics)

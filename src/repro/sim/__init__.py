@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate (kernel, resources, distributions)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Pareto,
+    ShiftedExponential,
+    Uniform,
+    lognormal_from_mean_cv,
+    make_rng,
+)
+from .resources import Gauge, PriorityStore, Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Constant",
+    "Distribution",
+    "Empirical",
+    "Exponential",
+    "LogNormal",
+    "Pareto",
+    "ShiftedExponential",
+    "Uniform",
+    "lognormal_from_mean_cv",
+    "make_rng",
+    "Gauge",
+    "PriorityStore",
+    "Request",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,410 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate the whole control plane runs on.  It is a small,
+SimPy-flavoured kernel: *processes* are generator coroutines that yield
+:class:`Event` objects; the :class:`Environment` owns a binary-heap event
+calendar and advances virtual time from event to event.
+
+The paper's "in-situ simulation" design (Section 3.4) is the reason this
+kernel exists: the same control-plane code runs against a ``null`` container
+backend whose operations are pure timeouts on this clock, so an experiment
+follows identical code paths whether it models one worker or a large cluster.
+
+The kernel is deterministic: events scheduled at equal times fire in
+insertion order (a monotonically increasing sequence number breaks ties),
+and all randomness in higher layers flows through seeded
+``numpy.random.Generator`` instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (double trigger, dead scheduling...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+PENDING = 0
+TRIGGERED = 1  # scheduled on the calendar, callbacks not yet run
+PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A condition that may happen at a point in simulated time.
+
+    Processes wait on events by yielding them.  An event is *triggered* with
+    either :meth:`succeed` or :meth:`fail`; once processed its callbacks have
+    been invoked and waiting processes resumed.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = PENDING
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if self._state == PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, carrying ``value``."""
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be re-raised in waiters."""
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Immediate event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._state = TRIGGERED
+        env._schedule(self, priority=0)
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on return.
+
+    The process event succeeds with the generator's return value, or fails
+    with any uncaught exception (which then propagates out of
+    :meth:`Environment.run` unless some other process waits on it).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._state != PENDING:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        event = Event(self.env)
+        event.callbacks.append(self._resume_interrupt(cause))
+        event.succeed()
+
+    def _resume_interrupt(self, cause: Any) -> Callable[[Event], None]:
+        def callback(_event: Event) -> None:
+            if self._state != PENDING:
+                return  # terminated before the interrupt was delivered
+            self._step(lambda: self._generator.throw(Interrupt(cause)))
+
+        return callback
+
+    def _resume(self, event: Event) -> None:
+        if event._ok:
+            self._step(lambda: self._generator.send(event._value))
+        else:
+            self._step(lambda: self._generator.throw(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self._target = None
+        self.env._active_process = self
+        try:
+            target = advance()
+        except StopIteration as exc:
+            self.env._active_process = None
+            self.succeed(exc.value)
+            return
+        except Interrupt as exc:
+            # An un-caught interrupt terminates the process with a failure.
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            self.env._note_failure(self, exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {target!r}"
+            )
+        if target._state == PROCESSED:
+            # Already happened: resume immediately at the current time.
+            proxy = Event(self.env)
+            proxy.callbacks.append(self._resume)
+            proxy.trigger(target)
+        else:
+            target.callbacks.append(self._resume)
+        self._target = target
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event._state == PROCESSED:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            e: e._value for e in self.events if e._state == PROCESSED and e._ok
+        }
+
+
+class AllOf(_Condition):
+    """Fires once every component event has fired (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any component event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+
+class Environment:
+    """The simulation environment: a clock plus an event calendar.
+
+    ``run(until=...)`` executes events in time order.  Use
+    :meth:`process` to start coroutines, :meth:`timeout` to wait, and
+    :meth:`event` for manually triggered conditions.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._failures: list[tuple[Process, BaseException]] = []
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _note_failure(self, process: Process, exc: BaseException) -> None:
+        self._failures.append((process, exc))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - internal invariant
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._state = PROCESSED
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar drains or simulated time reaches ``until``.
+
+        Uncaught exceptions in processes that nobody waits on propagate out
+        of this call — silent failure would corrupt experiments.
+        """
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise ValueError(f"until={limit} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+            while self._failures:
+                process, exc = self._failures.pop(0)
+                # A waited-on process delivers the exception to its waiters
+                # instead; only orphan failures propagate.
+                if not process.callbacks:
+                    raise exc
+        if self._now < limit and limit != float("inf"):
+            self._now = limit
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Start ``generator`` as a process and run until *it* completes
+        (or the time limit passes), then return its value.
+
+        Unlike :meth:`run`, this stops at the process's completion even if
+        background processes keep the calendar populated indefinitely.
+        """
+        proc = self.process(generator)
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise ValueError(f"until={limit} lies in the past (now={self._now})")
+        while not proc.triggered and self._queue and self._queue[0][0] <= limit:
+            self.step()
+            while self._failures:
+                process, exc = self._failures.pop(0)
+                if not process.callbacks:
+                    raise exc
+        if not proc.triggered:
+            raise SimulationError("process did not finish before the time limit")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

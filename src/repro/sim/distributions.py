@@ -1,0 +1,244 @@
+"""Random-variate helpers used across the simulator.
+
+Every distribution object is constructed around an explicit
+``numpy.random.Generator`` so experiments are reproducible bit-for-bit from
+a seed.  Sampling is vectorized where workloads need many variates at once
+(trace generation), with scalar conveniences for per-event draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Exponential",
+    "LogNormal",
+    "Pareto",
+    "Uniform",
+    "Empirical",
+    "ShiftedExponential",
+    "lognormal_from_mean_cv",
+    "make_rng",
+]
+
+
+def make_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Create a seeded generator (PCG64); ``None`` gives an OS-seeded one."""
+    return np.random.default_rng(seed)
+
+
+class Distribution:
+    """Base class: a non-negative random variate source."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Generic fallback; subclasses override with vectorized draws.
+        return np.array([self.sample(rng) for _ in range(int(n))])
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Degenerate distribution — always ``value``."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(int(n), self.value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given mean (classic Poisson inter-arrivals)."""
+
+    mean_value: float
+
+    def __post_init__(self):
+        if self.mean_value <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_value}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, size=int(n))
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class ShiftedExponential(Distribution):
+    """``shift + Exp(mean_tail)`` — a floor latency plus exponential tail.
+
+    This is the workhorse latency model: component latencies have a hard
+    minimum (the shift) and a contention-driven tail.
+    """
+
+    shift: float
+    mean_tail: float
+
+    def __post_init__(self):
+        if self.shift < 0 or self.mean_tail < 0:
+            raise ValueError("shift and mean_tail must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.mean_tail == 0:
+            return self.shift
+        return self.shift + float(rng.exponential(self.mean_tail))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.mean_tail == 0:
+            return np.full(int(n), self.shift)
+        return self.shift + rng.exponential(self.mean_tail, size=int(n))
+
+    @property
+    def mean(self) -> float:
+        return self.shift + self.mean_tail
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal parameterized by the *underlying* normal's mu/sigma."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=int(n))
+
+    @property
+    def mean(self) -> float:
+        return float(np.exp(self.mu + self.sigma**2 / 2.0))
+
+
+def lognormal_from_mean_cv(mean: float, cv: float) -> LogNormal:
+    """Build a LogNormal with the requested mean and coefficient of variation.
+
+    Serverless execution times are well described by log-normals; traces
+    report mean and CV, so this inversion is used by the trace generator.
+    """
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    sigma2 = float(np.log1p(cv**2))
+    mu = float(np.log(mean) - sigma2 / 2.0)
+    return LogNormal(mu=mu, sigma=float(np.sqrt(sigma2)))
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Pareto (heavy tail) with scale ``xm`` and shape ``alpha``."""
+
+    xm: float
+    alpha: float
+
+    def __post_init__(self):
+        if self.xm <= 0 or self.alpha <= 0:
+            raise ValueError("xm and alpha must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.xm * (1.0 + rng.pareto(self.alpha)))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.xm * (1.0 + rng.pareto(self.alpha, size=int(n)))
+
+    @property
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return float("inf")
+        return self.xm * self.alpha / (self.alpha - 1.0)
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.high < self.low:
+            raise ValueError(f"high < low: {self.high} < {self.low}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=int(n))
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class Empirical(Distribution):
+    """Samples from an empirical CDF via inverse-transform on quantiles.
+
+    Built from observed values (e.g. a function's historical IATs).  The
+    ``scale`` knob implements the paper's IAT-CDF scaling used to hit a
+    target load level (Section 5.1): all variates are multiplied by it.
+    """
+
+    def __init__(self, values: Sequence[float], scale: float = 1.0):
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ValueError("empirical distribution needs at least one value")
+        if np.any(arr < 0):
+            raise ValueError("empirical values must be non-negative")
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self._sorted = np.sort(arr)
+        self.scale = float(scale)
+
+    def with_scale(self, scale: float) -> "Empirical":
+        clone = Empirical.__new__(Empirical)
+        clone._sorted = self._sorted
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        clone.scale = float(scale)
+        return clone
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.sample_n(rng, 1)[0])
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.uniform(0.0, 1.0, size=int(n))
+        # Linear interpolation between order statistics.
+        positions = u * (self._sorted.size - 1)
+        return self.scale * np.interp(
+            positions, np.arange(self._sorted.size), self._sorted
+        )
+
+    @property
+    def mean(self) -> float:
+        return float(self.scale * self._sorted.mean())
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted underlying sample (unscaled); a view, do not mutate."""
+        return self._sorted

@@ -1,0 +1,86 @@
+"""Wall-clock execution of the DES calendar ("live" mode).
+
+The paper's central methodological claim is that the same control-plane
+code runs in-situ (simulated) and for real.  This module provides the
+other half of that claim for the Python reproduction: a
+:class:`RealtimeEnvironment` executes the identical event calendar, but
+synchronizes event firing to the wall clock (scaled by ``factor``), so a
+demo or soak test can run against real time — and real external callers —
+without changing a line of control-plane code.
+
+Events that fall behind the wall clock are executed immediately; the
+``strict`` flag turns sustained lag into an error instead, which is how a
+soak test detects that the host cannot keep up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .core import Environment, SimulationError
+
+__all__ = ["RealtimeEnvironment"]
+
+
+class RealtimeEnvironment(Environment):
+    """An Environment whose ``run`` sleeps until each event's wall time.
+
+    ``factor`` maps simulated seconds to wall seconds (0.1 runs 10x faster
+    than real time).  ``tolerance`` is the lag (in wall seconds) permitted
+    before ``strict`` mode raises.
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        factor: float = 1.0,
+        strict: bool = False,
+        tolerance: float = 0.5,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    ):
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        super().__init__(initial_time)
+        self.factor = float(factor)
+        self.strict = strict
+        self.tolerance = float(tolerance)
+        self._sleep = sleep
+        self._clock = clock
+        self._wall_start: Optional[float] = None
+        self._sim_start = self._now
+        self.max_lag = 0.0
+
+    def sync(self) -> None:
+        """(Re)anchor simulated time to the wall clock."""
+        self._wall_start = self._clock()
+        self._sim_start = self._now
+
+    def _wall_deadline(self, sim_time: float) -> float:
+        assert self._wall_start is not None
+        return self._wall_start + (sim_time - self._sim_start) * self.factor
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("no more events")
+        if self._wall_start is None:
+            self.sync()
+        event_time = self._queue[0][0]
+        deadline = self._wall_deadline(event_time)
+        now_wall = self._clock()
+        delay = deadline - now_wall
+        if delay > 0:
+            self._sleep(delay)
+        else:
+            lag = -delay
+            if lag > self.max_lag:
+                self.max_lag = lag
+            if self.strict and lag > self.tolerance:
+                raise SimulationError(
+                    f"realtime run fell {lag:.3f}s behind the wall clock "
+                    f"(tolerance {self.tolerance}s)"
+                )
+        super().step()

@@ -1,0 +1,42 @@
+"""Workload traces: synthetic Azure-like generation, sampling, replay."""
+
+from .analysis import (
+    iat_percentiles,
+    invocations_per_minute,
+    invocations_per_second,
+    popularity_skew,
+    trace_table,
+)
+from .azure import AzureDataset, AzureTraceConfig, generate_dataset
+from .model import Trace, TraceFunction
+from .replay import expand_dataset, expand_minute_bucket
+from .sampling import (
+    sample_random,
+    sample_rare,
+    sample_representative,
+    standard_samples,
+)
+from .scaling import expected_concurrency, little_load, scale_to_load, scale_trace_iats
+
+__all__ = [
+    "iat_percentiles",
+    "invocations_per_minute",
+    "invocations_per_second",
+    "popularity_skew",
+    "trace_table",
+    "AzureDataset",
+    "AzureTraceConfig",
+    "generate_dataset",
+    "Trace",
+    "TraceFunction",
+    "expand_dataset",
+    "expand_minute_bucket",
+    "sample_random",
+    "sample_rare",
+    "sample_representative",
+    "standard_samples",
+    "expected_concurrency",
+    "little_load",
+    "scale_to_load",
+    "scale_trace_iats",
+]

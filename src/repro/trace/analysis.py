@@ -1,0 +1,55 @@
+"""Trace analysis helpers: the appendix timeseries and skew diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.stats import bin_timeseries
+from .model import Trace
+
+__all__ = [
+    "invocations_per_second",
+    "invocations_per_minute",
+    "popularity_skew",
+    "iat_percentiles",
+    "trace_table",
+]
+
+
+def invocations_per_second(trace: Trace) -> np.ndarray:
+    """The appendix figures' series: invocations per one-second bin."""
+    return bin_timeseries(trace.timestamps, max(trace.duration, 1.0), 1.0)
+
+
+def invocations_per_minute(trace: Trace) -> np.ndarray:
+    return bin_timeseries(trace.timestamps, max(trace.duration, 60.0), 60.0)
+
+
+def popularity_skew(trace: Trace, top_fraction: float = 0.01) -> float:
+    """Fraction of invocations produced by the top ``top_fraction`` of
+    functions (Azure: ~1% of functions ≈ 90% of invocations)."""
+    if not 0 < top_fraction <= 1:
+        raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    counts = np.sort(trace.invocation_counts())[::-1]
+    if counts.sum() == 0:
+        return float("nan")
+    k = max(1, int(np.ceil(top_fraction * counts.size)))
+    return float(counts[:k].sum() / counts.sum())
+
+
+def iat_percentiles(trace: Trace, qs=(50.0, 95.0)) -> dict[float, float]:
+    """Percentiles of *per-function mean* inter-arrival times (seconds)."""
+    means = []
+    for i in range(len(trace.functions)):
+        ts = trace.timestamps[trace.function_idx == i]
+        if ts.size >= 2:
+            means.append(float(np.diff(ts).mean()))
+    if not means:
+        return {q: float("nan") for q in qs}
+    arr = np.asarray(means)
+    return {q: float(np.percentile(arr, q)) for q in qs}
+
+
+def trace_table(traces) -> list[dict]:
+    """Paper Table 3: one stats row per trace."""
+    return [t.stats_row() for t in traces]

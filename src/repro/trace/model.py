@@ -1,0 +1,195 @@
+"""Workload-trace data model.
+
+A :class:`Trace` is the replayable form of a FaaS workload: a sorted array
+of invocation timestamps, a parallel array of function indices, and the
+per-function profile table.  Arrays are NumPy so sampling, scaling and
+analysis are vectorized; the event loop of the keep-alive simulator
+iterates them directly without object-per-invocation overhead.
+
+Per the paper's Azure-trace adaptation: a function's *warm* execution time
+is the trace's average runtime, the *cold-start overhead* is estimated as
+``maximum - average`` runtime, and memory is the application allocation
+split evenly across the application's functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TraceFunction", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceFunction:
+    """Profile of one function appearing in a trace."""
+
+    name: str
+    memory_mb: float
+    warm_time: float  # average runtime (seconds)
+    cold_time: float  # maximum runtime = warm + init overhead (seconds)
+    app: str = ""     # owning application (memory is app-level in Azure)
+
+    def __post_init__(self):
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+        if self.warm_time < 0:
+            raise ValueError(f"warm_time must be non-negative, got {self.warm_time}")
+        if self.cold_time < self.warm_time:
+            raise ValueError("cold_time must be >= warm_time")
+
+    @property
+    def init_cost(self) -> float:
+        """Cold-start overhead: max - average runtime (paper's estimator)."""
+        return self.cold_time - self.warm_time
+
+
+class Trace:
+    """A replayable invocation trace.
+
+    ``timestamps`` (seconds, sorted ascending) and ``function_idx`` are
+    parallel arrays; ``functions[function_idx[i]]`` is invocation *i*'s
+    function.
+    """
+
+    def __init__(
+        self,
+        functions: Sequence[TraceFunction],
+        timestamps: np.ndarray,
+        function_idx: np.ndarray,
+        duration: Optional[float] = None,
+        name: str = "trace",
+    ):
+        self.functions: tuple[TraceFunction, ...] = tuple(functions)
+        ts = np.ascontiguousarray(timestamps, dtype=np.float64)
+        idx = np.ascontiguousarray(function_idx, dtype=np.int64)
+        if ts.shape != idx.shape:
+            raise ValueError(
+                f"timestamps {ts.shape} and function_idx {idx.shape} must match"
+            )
+        if ts.size and np.any(np.diff(ts) < 0):
+            order = np.argsort(ts, kind="stable")
+            ts = ts[order]
+            idx = idx[order]
+        if ts.size:
+            if ts[0] < 0:
+                raise ValueError("timestamps must be non-negative")
+            if idx.min() < 0 or idx.max() >= len(self.functions):
+                raise ValueError("function_idx out of range")
+        self.timestamps = ts
+        self.function_idx = idx
+        self.duration = float(
+            duration if duration is not None else (ts[-1] if ts.size else 0.0)
+        )
+        if self.duration < (ts[-1] if ts.size else 0.0):
+            raise ValueError("duration shorter than the last invocation")
+        self.name = name
+
+    # -- basic stats (paper Table 3) ---------------------------------------
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.duration <= 0:
+            return float("nan")
+        return len(self) / self.duration
+
+    @property
+    def avg_iat(self) -> float:
+        """Mean inter-arrival time across the whole trace (seconds)."""
+        if len(self) < 2:
+            return float("nan")
+        return float(np.diff(self.timestamps).mean())
+
+    def invocation_counts(self) -> np.ndarray:
+        """Per-function invocation counts (aligned with ``functions``)."""
+        return np.bincount(self.function_idx, minlength=len(self.functions))
+
+    def stats_row(self) -> dict:
+        """Row in the shape of paper Table 3."""
+        return {
+            "trace": self.name,
+            "num_functions": self.num_functions,
+            "num_invocations": len(self),
+            "reqs_per_sec": self.requests_per_second,
+            "avg_iat_ms": self.avg_iat * 1000.0,
+        }
+
+    # -- transforms -----------------------------------------------------------
+    def subset(self, function_indices: Iterable[int], name: str = "") -> "Trace":
+        """Restrict the trace to the given functions, renumbering indices."""
+        wanted = sorted(set(int(i) for i in function_indices))
+        for i in wanted:
+            if not 0 <= i < len(self.functions):
+                raise ValueError(f"function index {i} out of range")
+        remap = {old: new for new, old in enumerate(wanted)}
+        mask = np.isin(self.function_idx, wanted)
+        new_idx = np.array(
+            [remap[int(i)] for i in self.function_idx[mask]], dtype=np.int64
+        )
+        return Trace(
+            functions=[self.functions[i] for i in wanted],
+            timestamps=self.timestamps[mask],
+            function_idx=new_idx,
+            duration=self.duration,
+            name=name or f"{self.name}-subset",
+        )
+
+    def clipped(self, duration: float, name: str = "") -> "Trace":
+        """Keep only invocations in [0, duration)."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        mask = self.timestamps < duration
+        used = sorted(set(self.function_idx[mask].tolist()))
+        remap = {old: new for new, old in enumerate(used)}
+        new_idx = np.array([remap[int(i)] for i in self.function_idx[mask]],
+                           dtype=np.int64)
+        return Trace(
+            functions=[self.functions[i] for i in used],
+            timestamps=self.timestamps[mask],
+            function_idx=new_idx,
+            duration=duration,
+            name=name or f"{self.name}-clip",
+        )
+
+    @staticmethod
+    def merge(traces: Sequence["Trace"], name: str = "merged") -> "Trace":
+        """Layer several traces into one (paper: 'generate larger traces by
+        layering, and merging the traces from multiple smaller workloads')."""
+        if not traces:
+            raise ValueError("need at least one trace to merge")
+        functions: list[TraceFunction] = []
+        ts_parts, idx_parts = [], []
+        offset = 0
+        for k, tr in enumerate(traces):
+            renamed = [
+                TraceFunction(
+                    name=f"{f.name}@{k}" if len(traces) > 1 else f.name,
+                    memory_mb=f.memory_mb,
+                    warm_time=f.warm_time,
+                    cold_time=f.cold_time,
+                    app=f.app,
+                )
+                for f in tr.functions
+            ]
+            functions.extend(renamed)
+            ts_parts.append(tr.timestamps)
+            idx_parts.append(tr.function_idx + offset)
+            offset += len(tr.functions)
+        ts = np.concatenate(ts_parts)
+        idx = np.concatenate(idx_parts)
+        order = np.argsort(ts, kind="stable")
+        return Trace(
+            functions=functions,
+            timestamps=ts[order],
+            function_idx=idx[order],
+            duration=max(t.duration for t in traces),
+            name=name,
+        )

@@ -1,0 +1,100 @@
+"""Minute-bucket expansion into concrete invocation timestamps.
+
+Implements the paper's injection rule for the Azure dataset: if a minute
+bucket holds one invocation it is injected at the beginning of the minute;
+multiple invocations are equally spaced throughout the minute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .azure import SECONDS_PER_MINUTE, AzureDataset
+from .model import Trace, TraceFunction
+
+__all__ = ["expand_minute_bucket", "expand_dataset"]
+
+
+def expand_minute_bucket(minute: int, count: int) -> np.ndarray:
+    """Timestamps (seconds) for ``count`` invocations in minute ``minute``.
+
+    One invocation lands at the start of the minute; k invocations are
+    spaced ``60/k`` seconds apart starting at the minute boundary.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if minute < 0:
+        raise ValueError(f"minute must be non-negative, got {minute}")
+    base = minute * SECONDS_PER_MINUTE
+    if count == 1:
+        return np.array([base])
+    return base + np.arange(count) * (SECONDS_PER_MINUTE / count)
+
+
+def expand_dataset(
+    dataset: AzureDataset,
+    function_indices: Optional[Sequence[int]] = None,
+    name: str = "azure-synth",
+) -> Trace:
+    """Expand (a subset of) the dataset into a sorted :class:`Trace`.
+
+    ``function_indices`` selects which dataset functions to include (the
+    sampler output); ``None`` expands everything that survived the
+    at-least-two-invocations filter.
+    """
+    if function_indices is None:
+        selected: Iterable[int] = sorted(dataset.counts)
+    else:
+        selected = sorted(set(int(i) for i in function_indices))
+        for i in selected:
+            if not 0 <= i < dataset.num_functions:
+                raise ValueError(f"function index {i} out of dataset range")
+
+    functions: list[TraceFunction] = []
+    ts_parts: list[np.ndarray] = []
+    idx_parts: list[np.ndarray] = []
+    init = dataset.init_cost()
+
+    for new_idx, fn in enumerate(selected):
+        pair = dataset.counts.get(fn)
+        functions.append(
+            TraceFunction(
+                name=dataset.names[fn],
+                memory_mb=float(dataset.memory_mb[fn]),
+                warm_time=float(dataset.avg_runtime[fn]),
+                cold_time=float(dataset.avg_runtime[fn] + init[fn]),
+                app=dataset.apps[fn],
+            )
+        )
+        if pair is None:
+            continue
+        minutes, counts = pair
+        # Vectorized expansion: for each bucket generate its spaced offsets.
+        total = int(counts.sum())
+        ts = np.empty(total)
+        pos = 0
+        for m, c in zip(minutes.tolist(), counts.tolist()):
+            ts[pos : pos + c] = expand_minute_bucket(m, c)
+            pos += c
+        ts_parts.append(ts)
+        idx_parts.append(np.full(total, new_idx, dtype=np.int64))
+
+    if ts_parts:
+        timestamps = np.concatenate(ts_parts)
+        function_idx = np.concatenate(idx_parts)
+        order = np.argsort(timestamps, kind="stable")
+        timestamps = timestamps[order]
+        function_idx = function_idx[order]
+    else:
+        timestamps = np.empty(0)
+        function_idx = np.empty(0, dtype=np.int64)
+
+    return Trace(
+        functions=functions,
+        timestamps=timestamps,
+        function_idx=function_idx,
+        duration=dataset.duration_seconds,
+        name=name,
+    )

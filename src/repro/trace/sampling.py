@@ -1,0 +1,115 @@
+"""Trace samplers reproducing the paper's three evaluation workloads.
+
+* **RARE** — a random sample of the rarest, most infrequently invoked
+  functions (paper: 1000).  These mostly cold-start under a 10-minute TTL.
+* **REPRESENTATIVE** — equal-sized samples from each frequency quartile
+  (paper: 400 total), yielding high function diversity.
+* **RANDOM** — a uniform random sample (paper: 200).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.distributions import make_rng
+from .azure import AzureDataset
+from .model import Trace
+from .replay import expand_dataset
+
+__all__ = [
+    "sample_rare",
+    "sample_representative",
+    "sample_random",
+    "standard_samples",
+]
+
+
+def _eligible(dataset: AzureDataset) -> np.ndarray:
+    """Indices of functions with at least two invocations, by dataset rule."""
+    return np.array(sorted(dataset.counts), dtype=np.int64)
+
+
+def sample_rare(
+    dataset: AzureDataset,
+    n: int = 1000,
+    seed: Optional[int] = 1,
+) -> Trace:
+    """The RARE workload: the n least-frequently-invoked functions.
+
+    Following the paper ("a random sample of the rarest functions"), we
+    take the 2n rarest and randomly choose n of them, so ties at the
+    bottom of the frequency distribution do not bias the sample.
+    """
+    eligible = _eligible(dataset)
+    if eligible.size == 0:
+        raise ValueError("dataset has no reusable functions")
+    n = min(n, eligible.size)
+    freq = dataset.invocations_per_function()[eligible]
+    order = np.argsort(freq, kind="stable")
+    pool = eligible[order[: min(2 * n, eligible.size)]]
+    rng = make_rng(seed)
+    chosen = rng.choice(pool, size=n, replace=False)
+    return expand_dataset(dataset, sorted(chosen.tolist()), name="rare")
+
+
+def sample_representative(
+    dataset: AzureDataset,
+    n: int = 400,
+    seed: Optional[int] = 2,
+) -> Trace:
+    """The REPRESENTATIVE workload: equal samples per frequency quartile."""
+    eligible = _eligible(dataset)
+    if eligible.size == 0:
+        raise ValueError("dataset has no reusable functions")
+    n = min(n, eligible.size)
+    freq = dataset.invocations_per_function()[eligible]
+    order = np.argsort(freq, kind="stable")
+    sorted_fns = eligible[order]
+    rng = make_rng(seed)
+    per_quartile = n // 4
+    chosen: list[int] = []
+    quartiles = np.array_split(sorted_fns, 4)
+    for q in quartiles:
+        k = min(per_quartile, q.size)
+        if k > 0:
+            chosen.extend(rng.choice(q, size=k, replace=False).tolist())
+    # Top up from the whole pool if quartiles were too small / n % 4 != 0.
+    shortfall = n - len(chosen)
+    if shortfall > 0:
+        remaining = np.setdiff1d(eligible, np.array(chosen, dtype=np.int64))
+        if remaining.size:
+            extra = rng.choice(remaining, size=min(shortfall, remaining.size),
+                               replace=False)
+            chosen.extend(extra.tolist())
+    return expand_dataset(dataset, sorted(chosen), name="representative")
+
+
+def sample_random(
+    dataset: AzureDataset,
+    n: int = 200,
+    seed: Optional[int] = 3,
+) -> Trace:
+    """The RANDOM workload: a uniform sample of reusable functions."""
+    eligible = _eligible(dataset)
+    if eligible.size == 0:
+        raise ValueError("dataset has no reusable functions")
+    n = min(n, eligible.size)
+    rng = make_rng(seed)
+    chosen = rng.choice(eligible, size=n, replace=False)
+    return expand_dataset(dataset, sorted(chosen.tolist()), name="random")
+
+
+def standard_samples(
+    dataset: AzureDataset,
+    rare_n: int = 1000,
+    representative_n: int = 400,
+    random_n: int = 200,
+) -> dict[str, Trace]:
+    """The paper's three evaluation traces keyed by name."""
+    return {
+        "representative": sample_representative(dataset, representative_n),
+        "rare": sample_rare(dataset, rare_n),
+        "random": sample_random(dataset, random_n),
+    }

@@ -1,0 +1,16 @@
+"""Workloads: FunctionBench catalog, lookbusy synthetics, trace mapping."""
+
+from .functionbench import FUNCTIONBENCH, BenchFunction, catalog_table, registration_for
+from .lookbusy import lookbusy_function, lookbusy_population
+from .mapping import closest_bench_function, map_trace_to_catalog
+
+__all__ = [
+    "FUNCTIONBENCH",
+    "BenchFunction",
+    "catalog_table",
+    "registration_for",
+    "closest_bench_function",
+    "lookbusy_function",
+    "lookbusy_population",
+    "map_trace_to_catalog",
+]

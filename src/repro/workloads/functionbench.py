@@ -1,0 +1,142 @@
+"""FunctionBench-derived workload catalog (paper Table 4 and appendix).
+
+The paper's OpenWhisk/FaasCache experiments run real functions from the
+FunctionBench suite; their measured characteristics (memory footprint,
+total runtime, initialization time) are published in Table 4 and
+reproduced here verbatim.  The catalog supplies
+:class:`~repro.core.function.FunctionRegistration` objects for the control
+plane and (memory, warm, init) triples for the keep-alive analysis.
+
+The convention throughout: ``run time`` in the paper is the *cold* total
+(initialization + execution), so ``warm_time = run - init`` and
+``cold_time = run``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.function import FunctionRegistration
+
+__all__ = ["BenchFunction", "FUNCTIONBENCH", "registration_for", "catalog_table"]
+
+
+@dataclass(frozen=True)
+class BenchFunction:
+    """One catalog application (paper Table 4 row)."""
+
+    key: str
+    description: str
+    memory_mb: float
+    run_time: float   # total (cold) runtime, seconds
+    init_time: float  # initialization share of the runtime, seconds
+
+    def __post_init__(self):
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if self.init_time < 0 or self.run_time < self.init_time:
+            raise ValueError("need 0 <= init_time <= run_time")
+
+    @property
+    def warm_time(self) -> float:
+        return self.run_time - self.init_time
+
+    @property
+    def cold_time(self) -> float:
+        return self.run_time
+
+
+# Paper Table 4 ("FaaS workloads are highly diverse...").
+FUNCTIONBENCH: dict[str, BenchFunction] = {
+    f.key: f
+    for f in [
+        BenchFunction(
+            key="ml_inference",
+            description="Image inference using the SqueezeNet CNN (TensorFlow)",
+            memory_mb=512.0,
+            run_time=6.5,
+            init_time=4.5,
+        ),
+        BenchFunction(
+            key="video_encoding",
+            description="Download an 11 MB mp4 and convert to grayscale avi (cv2)",
+            memory_mb=500.0,
+            run_time=56.0,
+            init_time=3.0,
+        ),
+        BenchFunction(
+            key="matrix_multiply",
+            description="NumPy linalg.solve of a random 20x20 matrix",
+            memory_mb=256.0,
+            run_time=2.5,
+            init_time=2.2,
+        ),
+        BenchFunction(
+            key="disk_bench",
+            description="dd: 1000 reads/writes of 128k blocks",
+            memory_mb=256.0,
+            run_time=2.2,
+            init_time=1.8,
+        ),
+        BenchFunction(
+            key="image_manip",
+            description="Image manipulation pipeline",
+            memory_mb=300.0,
+            run_time=9.0,
+            init_time=6.0,
+        ),
+        BenchFunction(
+            key="web_serving",
+            description="Render a small HTML page with Chameleon",
+            memory_mb=64.0,
+            run_time=2.4,
+            init_time=2.0,
+        ),
+        BenchFunction(
+            key="float_op",
+            description="Floating-point trigonometry with the math library",
+            memory_mb=128.0,
+            run_time=2.0,
+            init_time=1.7,
+        ),
+        # The PyAES microbenchmark used for the Figure 1 overhead study:
+        # a short, warm-dominant function.
+        BenchFunction(
+            key="pyaes",
+            description="AES encryption of a small payload (pure Python)",
+            memory_mb=128.0,
+            run_time=0.60,
+            init_time=0.40,
+        ),
+    ]
+}
+
+
+def registration_for(key: str, version: int = 1) -> FunctionRegistration:
+    """Build a control-plane registration from a catalog entry."""
+    bench = FUNCTIONBENCH.get(key)
+    if bench is None:
+        raise KeyError(
+            f"unknown FunctionBench key {key!r}; choose from {sorted(FUNCTIONBENCH)}"
+        )
+    return FunctionRegistration(
+        name=bench.key,
+        image=f"repro/functionbench-{bench.key}:latest",
+        memory_mb=bench.memory_mb,
+        warm_time=bench.warm_time,
+        cold_time=bench.cold_time,
+        version=version,
+    )
+
+
+def catalog_table() -> list[dict]:
+    """Rows in the shape of paper Table 4."""
+    return [
+        {
+            "application": b.description,
+            "mem_mb": b.memory_mb,
+            "run_s": b.run_time,
+            "init_s": b.init_time,
+        }
+        for b in FUNCTIONBENCH.values()
+    ]

@@ -1,0 +1,73 @@
+"""lookbusy-style synthetic functions (Section 5.1).
+
+The paper's load generator can use "custom sized functions that run
+lookbusy for generating specific CPU and memory load".  The synthetic
+factory here produces registrations with exact requested durations and
+footprints — useful for controlled queueing/keep-alive experiments where
+FunctionBench's fixed profiles are too coarse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.function import FunctionRegistration
+from ..sim.distributions import Distribution, make_rng
+
+__all__ = ["lookbusy_function", "lookbusy_population"]
+
+
+def lookbusy_function(
+    name: str,
+    run_time: float,
+    memory_mb: float = 128.0,
+    init_time: float = 0.0,
+    version: int = 1,
+) -> FunctionRegistration:
+    """A synthetic function with exactly the requested profile."""
+    if run_time <= 0:
+        raise ValueError("run_time must be positive")
+    if init_time < 0:
+        raise ValueError("init_time must be non-negative")
+    return FunctionRegistration(
+        name=name,
+        image=f"repro/lookbusy:{name}",
+        memory_mb=memory_mb,
+        warm_time=run_time,
+        cold_time=run_time + init_time,
+        version=version,
+    )
+
+
+def lookbusy_population(
+    n: int,
+    run_time_dist: Distribution,
+    memory_dist: Distribution,
+    init_fraction: float = 0.5,
+    seed: Optional[int] = 0,
+    prefix: str = "lookbusy",
+) -> list[FunctionRegistration]:
+    """Draw a population of synthetic functions from distributions.
+
+    ``init_fraction`` sets each function's initialization time as a
+    fraction of its run time (the paper's workloads have init comparable
+    to execution; see Table 4).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if init_fraction < 0:
+        raise ValueError("init_fraction must be non-negative")
+    rng = make_rng(seed)
+    run_times = np.maximum(run_time_dist.sample_n(rng, n), 0.001)
+    memories = np.maximum(memory_dist.sample_n(rng, n), 16.0)
+    return [
+        lookbusy_function(
+            name=f"{prefix}-{i:04d}",
+            run_time=float(run_times[i]),
+            memory_mb=float(memories[i]),
+            init_time=float(run_times[i] * init_fraction),
+        )
+        for i in range(n)
+    ]

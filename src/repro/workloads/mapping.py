@@ -1,0 +1,59 @@
+"""Trace-function -> benchmark-function mapping (Section 5.1).
+
+"When using real functions from a benchmark-suite like FunctionBench, for
+each randomly sampled function, we use its average execution time (from
+the full trace), and assign it the closest function in the suite."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..trace.model import Trace, TraceFunction
+from .functionbench import FUNCTIONBENCH, BenchFunction
+
+__all__ = ["closest_bench_function", "map_trace_to_catalog"]
+
+
+def closest_bench_function(
+    avg_runtime: float, catalog: Sequence[BenchFunction] = tuple(FUNCTIONBENCH.values())
+) -> BenchFunction:
+    """The catalog entry whose total runtime is nearest ``avg_runtime``."""
+    if avg_runtime < 0:
+        raise ValueError("avg_runtime must be non-negative")
+    if not catalog:
+        raise ValueError("catalog must be non-empty")
+    runtimes = np.array([b.run_time for b in catalog])
+    return catalog[int(np.argmin(np.abs(runtimes - avg_runtime)))]
+
+
+def map_trace_to_catalog(
+    trace: Trace, catalog: Sequence[BenchFunction] = tuple(FUNCTIONBENCH.values())
+) -> Trace:
+    """Re-profile every trace function with its closest catalog entry.
+
+    Invocation timestamps are untouched; only (memory, warm, cold) change
+    to the benchmark function's measured values — making a trace runnable
+    with "real" functions, as the paper's OpenWhisk evaluation does.
+    """
+    mapped = []
+    for f in trace.functions:
+        bench = closest_bench_function(f.warm_time, catalog)
+        mapped.append(
+            TraceFunction(
+                name=f.name,
+                memory_mb=bench.memory_mb,
+                warm_time=bench.warm_time,
+                cold_time=bench.cold_time,
+                app=f.app,
+            )
+        )
+    return Trace(
+        functions=mapped,
+        timestamps=trace.timestamps,
+        function_idx=trace.function_idx,
+        duration=trace.duration,
+        name=f"{trace.name}-functionbench",
+    )

@@ -1,0 +1,144 @@
+"""Tests for the cookie-based async API and function execution timeouts."""
+
+import pytest
+
+from repro import Environment, FunctionRegistration, Worker, WorkerConfig
+from repro.core.results import AsyncStatus, ResultStore
+from repro.metrics import Outcome
+
+
+def make_worker(**overrides):
+    env = Environment()
+    defaults = dict(backend="null", cores=4, memory_mb=2048.0)
+    defaults.update(overrides)
+    worker = Worker(env, WorkerConfig(**defaults))
+    worker.start()
+    return env, worker
+
+
+# ------------------------------------------------------------- result store
+def test_result_store_lifecycle():
+    clock = {"t": 0.0}
+    store = ResultStore(clock=lambda: clock["t"], retention=100.0)
+    cookie = store.register()
+    assert store.check(cookie).status is AsyncStatus.PENDING
+    store.complete(cookie, "result")
+    polled = store.check(cookie)
+    assert polled.status is AsyncStatus.DONE
+    assert polled.invocation == "result"
+    # One-shot collection: a second poll misses.
+    assert store.check(cookie).status is AsyncStatus.GONE
+
+
+def test_result_store_peek_without_collect():
+    store = ResultStore(clock=lambda: 0.0)
+    cookie = store.register()
+    store.complete(cookie, "r")
+    assert store.check(cookie, collect=False).status is AsyncStatus.DONE
+    assert store.check(cookie).status is AsyncStatus.DONE  # still there
+
+
+def test_result_store_retention_expiry():
+    clock = {"t": 0.0}
+    store = ResultStore(clock=lambda: clock["t"], retention=10.0)
+    cookie = store.register()
+    store.complete(cookie, "r")
+    clock["t"] = 11.0
+    assert store.check(cookie).status is AsyncStatus.GONE
+    assert store.expired == 1
+
+
+def test_result_store_unknown_cookie_and_validation():
+    store = ResultStore(clock=lambda: 0.0)
+    assert store.check("async-nope").status is AsyncStatus.GONE
+    with pytest.raises(KeyError):
+        store.complete("async-nope", "r")
+    with pytest.raises(ValueError):
+        ResultStore(clock=lambda: 0.0, retention=0.0)
+
+
+# ------------------------------------------------------------- worker async
+def test_cookie_async_invocation_round_trip():
+    env, worker = make_worker()
+    worker.register_sync(FunctionRegistration(name="f", warm_time=0.5,
+                                              cold_time=1.0))
+    cookie = worker.async_invoke_cookie("f.1")
+    assert worker.check_async_invocation(cookie).status is AsyncStatus.PENDING
+    env.run(until=30.0)
+    polled = worker.check_async_invocation(cookie)
+    assert polled.status is AsyncStatus.DONE
+    assert polled.invocation.cold
+    assert worker.check_async_invocation(cookie).status is AsyncStatus.GONE
+
+
+def test_cookie_status_in_worker_status():
+    env, worker = make_worker()
+    worker.register_sync(FunctionRegistration(name="f", warm_time=1.0,
+                                              cold_time=2.0))
+    worker.async_invoke_cookie("f.1")
+    assert worker.status()["async_pending"] == 1
+    env.run(until=30.0)
+    assert worker.status()["async_pending"] == 0
+
+
+# ----------------------------------------------------------------- timeouts
+def test_registration_timeout_validation():
+    with pytest.raises(ValueError):
+        FunctionRegistration(name="f", timeout=0.0)
+
+
+def test_function_killed_after_timeout():
+    env, worker = make_worker()
+    worker.register_sync(
+        FunctionRegistration(name="slow", warm_time=10.0, cold_time=20.0,
+                             timeout=2.0)
+    )
+    inv = env.run_process(worker.invoke("slow.1"))
+    assert inv.timed_out
+    assert inv.completed_at - inv.arrival < 3.0  # killed promptly
+    assert worker.timeouts == 1
+    assert worker.metrics.outcomes()[Outcome.TIMEOUT] == 1
+    # The zombie container was destroyed, not pooled.
+    assert worker.pool.available_count() == 0
+    env.run(until=env.now + 5.0)
+    assert worker.memory.level == pytest.approx(2048.0)
+
+
+def test_function_within_timeout_unaffected():
+    env, worker = make_worker()
+    worker.register_sync(
+        FunctionRegistration(name="ok", warm_time=0.5, cold_time=1.0,
+                             timeout=30.0)
+    )
+    inv = env.run_process(worker.invoke("ok.1"))
+    assert not inv.timed_out
+    assert worker.timeouts == 0
+    inv2 = env.run_process(worker.invoke("ok.1"))
+    assert not inv2.cold  # container pooled normally
+
+
+def test_timeout_releases_concurrency_token():
+    env, worker = make_worker(cores=1, bypass_enabled=False)
+    worker.register_sync(
+        FunctionRegistration(name="slow", warm_time=100.0, cold_time=100.0,
+                             timeout=1.0)
+    )
+    worker.register_sync(FunctionRegistration(name="fast", warm_time=0.1,
+                                              cold_time=0.2))
+    first = worker.async_invoke("slow.1")
+    env.run(until=0.5)
+    second = worker.async_invoke("fast.1")
+    env.run(until=30.0)
+    assert first.value.timed_out
+    assert second.triggered and not second.value.dropped
+
+
+def test_timeout_records_overhead_sanely():
+    env, worker = make_worker()
+    worker.register_sync(
+        FunctionRegistration(name="slow", warm_time=10.0, cold_time=10.0,
+                             timeout=1.0)
+    )
+    inv = env.run_process(worker.invoke("slow.1"))
+    # exec window closed at the kill: e2e ≈ timeout, not the full 10 s.
+    assert inv.e2e_time == pytest.approx(1.0, abs=0.2)

@@ -1,0 +1,53 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table4_command(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert "512" in out  # CNN memory
+
+
+def test_table2_command(capsys):
+    assert main(["table2", "--invocations", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "call_container" in out
+
+
+def test_table3_command_small(capsys):
+    assert main(["--scale", "small", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "representative" in out and "rare" in out
+
+
+def test_ablation_coldpath(capsys):
+    assert main(["ablation", "--which", "coldpath"]) == 0
+    out = capsys.readouterr().out
+    assert "namespace_pool" in out
+
+
+def test_export_azure_round_trip(tmp_path, capsys):
+    assert main([
+        "export-azure", "--out", str(tmp_path / "day"),
+        "--functions", "100", "--minutes", "60", "--seed", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    from repro.trace.azure_io import load_azure_csvs
+
+    loaded = load_azure_csvs(tmp_path / "day")
+    assert loaded.total_invocations() > 0
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["--scale", "galactic", "table4"])

@@ -1,0 +1,57 @@
+"""Unit tests for the full-stack cluster study experiment."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import SMALL, run_cluster_study
+from repro.experiments.cluster_study import ClusterStudyResult
+
+TINY = dataclasses.replace(SMALL, dataset_functions=400, dataset_minutes=120,
+                           representative_n=50)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cluster_study(TINY, duration_cap=400.0, num_workers=3,
+                             cores_per_worker=4)
+
+
+def test_study_completes_workload(result):
+    assert result.invocations > 50
+    assert result.completed + result.dropped == result.invocations
+    assert result.drop_ratio < 0.05
+
+
+def test_study_hits_load_target(result):
+    # 0.6 * 3 workers * 4 cores = 7.2 expected concurrency.
+    assert result.total_load == pytest.approx(7.2, abs=0.2)
+
+
+def test_study_uses_all_workers(result):
+    assert len(result.per_worker_invocations) == 3
+    assert all(v > 0 for v in result.per_worker_invocations.values())
+    assert sum(result.per_worker_invocations.values()) == result.completed
+
+
+def test_study_keepalive_effective(result):
+    assert 0.0 < result.cold_ratio < 0.9
+
+
+def test_study_row_shape(result):
+    row = result.as_dict()
+    assert {"invocations", "completed", "dropped", "cold_ratio",
+            "e2e_p50_ms", "e2e_p99_ms", "overhead_p50_ms", "forwards",
+            "placements", "littles_load"} == set(row)
+
+
+def test_study_validation():
+    with pytest.raises(ValueError):
+        run_cluster_study(TINY, target_load_fraction=0.0)
+
+
+def test_lb_policy_selectable():
+    r = run_cluster_study(TINY, duration_cap=300.0, num_workers=2,
+                          cores_per_worker=4, lb_policy="round_robin")
+    assert isinstance(r, ClusterStudyResult)
+    assert r.forwards == 0  # round-robin has no forwarding concept

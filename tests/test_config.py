@@ -1,0 +1,91 @@
+"""Unit tests for worker configuration and JSON loading."""
+
+import json
+
+import pytest
+
+from repro.core.config import WorkerConfig, WorkerLatencyProfile, load_config
+from repro.errors import ConfigurationError
+
+
+def test_default_config_valid():
+    cfg = WorkerConfig()
+    assert cfg.cores == 48
+    assert cfg.effective_concurrency == 48
+
+
+def test_explicit_concurrency_limit():
+    cfg = WorkerConfig(concurrency_limit=96)
+    assert cfg.effective_concurrency == 96
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"cores": 0},
+        {"memory_mb": 0.0},
+        {"concurrency_limit": 0},
+        {"queue_max_len": 0},
+        {"bypass_duration": -1.0},
+        {"memory_wait_timeout": -1.0},
+        {"eviction_interval": 0.0},
+        {"free_memory_buffer_mb": -1.0},
+        {"memory_mb": 100.0, "free_memory_buffer_mb": 200.0},
+        {"namespace_pool_size": -1},
+        {"load_sample_interval": 0.0},
+    ],
+)
+def test_config_validation(overrides):
+    with pytest.raises(ConfigurationError):
+        WorkerConfig(**overrides)
+
+
+def test_with_overrides_returns_new_config():
+    base = WorkerConfig()
+    derived = base.with_overrides(cores=8, name="w2")
+    assert derived.cores == 8
+    assert derived.name == "w2"
+    assert base.cores == 48  # frozen original untouched
+
+
+def test_latency_profile_validation():
+    with pytest.raises(ConfigurationError):
+        WorkerLatencyProfile(invoke=-0.001)
+
+
+def test_load_config_from_dict():
+    cfg = load_config({"cores": 12, "queue_policy": "sjf"})
+    assert cfg.cores == 12
+    assert cfg.queue_policy == "sjf"
+
+
+def test_load_config_overrides_win():
+    cfg = load_config({"cores": 12}, cores=24)
+    assert cfg.cores == 24
+
+
+def test_load_config_from_json_file(tmp_path):
+    path = tmp_path / "worker.json"
+    path.write_text(json.dumps({
+        "name": "json-worker",
+        "cores": 6,
+        "latency": {"invoke": 0.001},
+    }))
+    cfg = load_config(path)
+    assert cfg.name == "json-worker"
+    assert cfg.cores == 6
+    assert cfg.latency.invoke == 0.001
+
+
+def test_load_config_unknown_key_rejected():
+    with pytest.raises(ConfigurationError):
+        load_config({"not_a_real_option": 1})
+
+
+def test_load_config_bad_source_type():
+    with pytest.raises(ConfigurationError):
+        load_config(42)  # type: ignore[arg-type]
+
+
+def test_load_config_none_gives_defaults():
+    assert load_config() == WorkerConfig()

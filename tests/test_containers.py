@@ -1,0 +1,260 @@
+"""Unit tests for the container substrate (backends, agent, pools, images)."""
+
+import numpy as np
+import pytest
+
+from repro.containers import (
+    Agent,
+    ContainerdBackend,
+    ContainerState,
+    CrunBackend,
+    DockerBackend,
+    HttpClientPool,
+    ImageLayer,
+    ImageManifest,
+    ImageRegistry,
+    NamespacePool,
+    NullBackend,
+    make_backend,
+)
+from repro.core.function import FunctionRegistration
+from repro.sim import Environment
+
+
+REG = FunctionRegistration(name="f", memory_mb=128.0, warm_time=0.1, cold_time=0.5)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+# ---------------------------------------------------------------- backends
+def test_null_backend_zero_cost_create():
+    env = Environment()
+    backend = NullBackend(env)
+    container = env.run_process(backend.create(REG))
+    assert env.now == 0.0
+    assert container.state is ContainerState.AVAILABLE
+    assert backend.created == 1
+
+
+def test_null_backend_invoke_is_pure_timeout():
+    env = Environment()
+    backend = NullBackend(env)
+    container = env.run_process(backend.create(REG))
+    result = env.run_process(backend.invoke(container, 2.5))
+    assert env.now == pytest.approx(2.5)
+    assert result["status"] == "ok"
+    assert container.invocations == 1
+
+
+def test_null_backend_destroy():
+    env = Environment()
+    backend = NullBackend(env, destroy_latency=0.1)
+    container = env.run_process(backend.create(REG))
+    env.run_process(backend.destroy(container))
+    assert container.state is ContainerState.DESTROYED
+    assert env.now == pytest.approx(0.1)
+    assert backend.destroyed == 1
+
+
+def test_simulated_backend_create_latency_ordering():
+    times = {}
+    for cls in (CrunBackend, ContainerdBackend, DockerBackend):
+        env = Environment()
+        backend = cls(env, rng=rng())
+        env.run_process(backend.create(REG, namespace="ns-1"))
+        times[cls.__name__] = env.now
+    # Paper: crun ~150 ms < containerd ~300 ms < Docker ~400 ms.
+    assert times["CrunBackend"] < times["ContainerdBackend"] < times["DockerBackend"]
+
+
+def test_simulated_backend_pays_namespace_latency_without_pool():
+    env1 = Environment()
+    b1 = ContainerdBackend(env1, rng=rng())
+    env1.run_process(b1.create(REG, namespace="pooled"))
+    env2 = Environment()
+    b2 = ContainerdBackend(env2, rng=rng())
+    env2.run_process(b2.create(REG, namespace=None))
+    assert env2.now - env1.now == pytest.approx(0.100, abs=1e-6)
+
+
+def test_simulated_backend_invoke_includes_http_overhead():
+    env = Environment()
+    backend = ContainerdBackend(env, rng=rng())
+    container = env.run_process(backend.create(REG, namespace="ns"))
+    start = env.now
+    env.run_process(backend.invoke(container, 1.0))
+    overhead = env.now - start - 1.0
+    assert overhead > 0
+    assert overhead < 0.05
+
+
+def test_simulated_backend_invoke_requires_available_state():
+    env = Environment()
+    backend = ContainerdBackend(env, rng=rng())
+    container = env.run_process(backend.create(REG, namespace="ns"))
+    container.state = ContainerState.DESTROYED
+    with pytest.raises(RuntimeError):
+        env.run_process(backend.invoke(container, 1.0))
+
+
+def test_make_backend_factory():
+    env = Environment()
+    assert isinstance(make_backend("null", env), NullBackend)
+    assert isinstance(make_backend("containerd", env), ContainerdBackend)
+    assert isinstance(make_backend("DOCKER", env), DockerBackend)
+    with pytest.raises(ValueError):
+        make_backend("lxc", env)
+
+
+# -------------------------------------------------------------------- agent
+def test_agent_not_ready_until_started():
+    env = Environment()
+    agent = Agent(env, rng())
+    assert not agent.status()
+    env.run_process(agent.start(0.08))
+    assert agent.status()
+    assert env.now == pytest.approx(0.08)
+
+
+def test_agent_invoke_requires_ready():
+    env = Environment()
+    agent = Agent(env, rng())
+    with pytest.raises(RuntimeError):
+        env.run_process(agent.invoke(1.0))
+
+
+def test_agent_cold_handshake_costs_more():
+    env = Environment()
+    agent = Agent(env, np.random.default_rng(1))
+    env.run_process(agent.start(0.0))
+    t0 = env.now
+    env.run_process(agent.invoke(0.0, cold_handshake=True))
+    cold_cost = env.now - t0
+    t1 = env.now
+    env.run_process(agent.invoke(0.0, cold_handshake=False))
+    warm_cost = env.now - t1
+    assert cold_cost > warm_cost
+
+
+# ---------------------------------------------------------------- http pool
+def test_http_pool_caches_clients():
+    pool = HttpClientPool(enabled=True)
+    assert pool.connection_cost("c1") == pool.NEW_CLIENT_COST
+    assert pool.connection_cost("c1") == 0.0
+    assert pool.hits == 1 and pool.misses == 1
+    assert len(pool) == 1
+
+
+def test_http_pool_disabled_always_pays():
+    pool = HttpClientPool(enabled=False)
+    assert pool.connection_cost("c1") == pool.NEW_CLIENT_COST
+    assert pool.connection_cost("c1") == pool.NEW_CLIENT_COST
+    assert len(pool) == 0
+
+
+def test_http_pool_forget():
+    pool = HttpClientPool()
+    pool.connection_cost("c1")
+    pool.forget("c1")
+    assert pool.connection_cost("c1") == pool.NEW_CLIENT_COST
+
+
+# ------------------------------------------------------------ namespace pool
+def test_namespace_pool_starts_full():
+    env = Environment()
+    pool = NamespacePool(env, target_size=4)
+    assert len(pool) == 4
+    ns = pool.acquire()
+    assert ns is not None
+    assert len(pool) == 3
+    assert pool.hits == 1
+
+
+def test_namespace_pool_miss_when_empty():
+    env = Environment()
+    pool = NamespacePool(env, target_size=1)
+    pool.acquire()
+    assert pool.acquire() is None
+    assert pool.misses == 1
+    assert pool.miss_latency() == pytest.approx(0.1)
+
+
+def test_namespace_pool_disabled():
+    env = Environment()
+    pool = NamespacePool(env, target_size=8, enabled=False)
+    assert len(pool) == 0
+    assert pool.acquire() is None
+
+
+def test_namespace_pool_release_caps_at_target():
+    env = Environment()
+    pool = NamespacePool(env, target_size=2)
+    pool.release("extra-1")
+    assert len(pool) == 2  # already full, release dropped
+
+
+def test_namespace_pool_refiller_tops_up():
+    env = Environment()
+    pool = NamespacePool(env, target_size=3)
+    for _ in range(3):
+        pool.acquire()
+    env.process(pool.refiller())
+    env.run(until=1.0)
+    pool.stop()
+    assert len(pool) == 3
+
+
+def test_namespace_pool_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        NamespacePool(env, target_size=-1)
+    with pytest.raises(ValueError):
+        NamespacePool(env, create_latency=-0.1)
+
+
+# ------------------------------------------------------------------- images
+def test_image_registry_pull_latency_scales_with_size():
+    env = Environment()
+    registry = ImageRegistry(env, bandwidth_mb_per_s=100.0)
+    registry.push(ImageManifest("small", (ImageLayer("sha256:s", 10.0),)))
+    registry.push(ImageManifest("large", (ImageLayer("sha256:l", 1000.0),)))
+    env.run_process(registry.pull("small"))
+    small_t = env.now
+    env.run_process(registry.pull("large"))
+    large_t = env.now - small_t
+    assert large_t > small_t
+
+
+def test_image_registry_layer_cache():
+    env = Environment()
+    registry = ImageRegistry(env)
+    shared = ImageLayer("sha256:base", 50.0)
+    registry.push(ImageManifest("a", (shared, ImageLayer("sha256:a", 10.0))))
+    registry.push(ImageManifest("b", (shared, ImageLayer("sha256:b", 10.0))))
+    env.run_process(registry.pull("a"))
+    t_a = env.now
+    env.run_process(registry.pull("b"))
+    t_b = env.now - t_a
+    assert registry.cached_layer_hits == 1
+    assert t_b < t_a  # base layer not re-fetched
+
+
+def test_image_registry_unknown_image_synthesized():
+    env = Environment()
+    registry = ImageRegistry(env)
+    manifest = env.run_process(registry.pull("unknown/image:tag"))
+    assert registry.has_image("unknown/image:tag")
+    assert manifest.layers
+
+
+def test_manifest_platform_filter():
+    m = ImageManifest(
+        "multi",
+        (
+            ImageLayer("l1", 10.0, os="linux", arch="amd64"),
+            ImageLayer("l2", 10.0, os="linux", arch="arm64"),
+        ),
+    )
+    assert len(m.relevant_layers("linux", "amd64")) == 1

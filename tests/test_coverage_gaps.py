@@ -1,0 +1,131 @@
+"""Final coverage batch: smaller API corners across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import Environment, FunctionRegistration, Worker, WorkerConfig
+from repro.loadgen import ClosedLoopResult, run_closed_loop
+from repro.sim import PriorityStore, Store
+from repro.trace import AzureTraceConfig, generate_dataset
+from repro.trace.replay import expand_dataset
+
+
+# ------------------------------------------------------- closed-loop result
+def test_closed_loop_result_empty():
+    r = ClosedLoopResult(duration=10.0)
+    assert r.completed == []
+    assert r.overheads().size == 0
+    assert r.throughput == 0.0
+
+
+def test_closed_loop_result_throughput_nan_without_duration():
+    r = ClosedLoopResult(duration=0.0)
+    assert np.isnan(r.throughput)
+
+
+# ----------------------------------------------------------- store corners
+def test_store_items_property_visibility():
+    env = Environment()
+    s = Store(env)
+    s.put("a")
+    env.run()
+    assert s.items == ["a"]
+    assert len(s) == 1
+
+
+def test_priority_store_capacity_blocks():
+    env = Environment()
+    s = PriorityStore(env, capacity=1)
+    done = []
+
+    def producer():
+        yield s.put("x", priority=1)
+        done.append(("x", env.now))
+        yield s.put("y", priority=0)
+        done.append(("y", env.now))
+
+    def consumer():
+        yield env.timeout(3.0)
+        item = yield s.get()
+        done.append((item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    # y's put blocked until the consumer drained x at t=3.
+    assert ("x", 0.0) in done
+    assert ("y", 3.0) in done
+
+
+# ------------------------------------------------------------ worker corners
+def test_worker_invoke_generator_convenience():
+    env = Environment()
+    worker = Worker(env, WorkerConfig(backend="null", cores=2,
+                                      memory_mb=2048.0))
+    worker.start()
+    worker.register_sync(FunctionRegistration(name="f"))
+
+    def caller():
+        inv = yield from worker.invoke("f.1")
+        return inv
+
+    inv = env.run_process(caller())
+    assert inv.completed_at is not None
+
+
+def test_worker_stop_idempotent():
+    env = Environment()
+    worker = Worker(env, WorkerConfig(backend="null", cores=2,
+                                      memory_mb=2048.0))
+    worker.start()
+    worker.stop()
+    worker.stop()  # must not raise
+
+
+def test_worker_args_passthrough():
+    env = Environment()
+    worker = Worker(env, WorkerConfig(backend="null", cores=2,
+                                      memory_mb=2048.0))
+    worker.start()
+    worker.register_sync(FunctionRegistration(name="f"))
+    inv = env.run_process(worker.invoke("f.1", args={"x": 1}))
+    assert inv.args == {"x": 1}
+
+
+# -------------------------------------------------------------- trace misc
+def test_dataset_total_invocations_per_function():
+    ds = generate_dataset(AzureTraceConfig(num_functions=100,
+                                           duration_minutes=60, seed=4))
+    fn = sorted(ds.counts)[0]
+    assert ds.total_invocations(fn) == int(ds.counts[fn][1].sum())
+    assert ds.total_invocations() == sum(
+        ds.total_invocations(f) for f in ds.counts
+    )
+
+
+def test_expand_dataset_empty_selection():
+    ds = generate_dataset(AzureTraceConfig(num_functions=50,
+                                           duration_minutes=30, seed=5))
+    trace = expand_dataset(ds, [])
+    assert len(trace) == 0
+    assert trace.num_functions == 0
+
+
+def test_trace_merge_single_preserves_names():
+    from repro.trace.model import Trace, TraceFunction
+
+    f = TraceFunction(name="solo", memory_mb=10.0, warm_time=0.1,
+                      cold_time=0.2)
+    t = Trace([f], np.array([0.0]), np.array([0]), duration=1.0)
+    merged = Trace.merge([t])
+    assert merged.functions[0].name == "solo"
+
+
+# ---------------------------------------------------------------- cli misc
+def test_cli_ablation_queue_only(capsys):
+    from repro.cli import main
+
+    assert main(["ablation", "--which", "queue"]) == 0
+    out = capsys.readouterr().out
+    assert "mqfq" in out
+    assert "Bypass" not in out  # only the requested section ran

@@ -1,0 +1,140 @@
+"""Unit tests for repro.sim.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.sim.distributions import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Pareto,
+    ShiftedExponential,
+    Uniform,
+    lognormal_from_mean_cv,
+    make_rng,
+)
+
+
+def test_make_rng_deterministic():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_constant_always_same():
+    rng = make_rng(0)
+    d = Constant(3.5)
+    assert d.sample(rng) == 3.5
+    assert np.all(d.sample_n(rng, 10) == 3.5)
+    assert d.mean == 3.5
+
+
+def test_exponential_mean_close():
+    rng = make_rng(1)
+    d = Exponential(2.0)
+    samples = d.sample_n(rng, 50_000)
+    assert samples.mean() == pytest.approx(2.0, rel=0.05)
+    assert d.mean == 2.0
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        Exponential(0.0)
+    with pytest.raises(ValueError):
+        Exponential(-1.0)
+
+
+def test_shifted_exponential_floor():
+    rng = make_rng(2)
+    d = ShiftedExponential(shift=0.5, mean_tail=0.1)
+    samples = d.sample_n(rng, 10_000)
+    assert samples.min() >= 0.5
+    assert samples.mean() == pytest.approx(0.6, rel=0.05)
+    assert d.mean == pytest.approx(0.6)
+
+
+def test_shifted_exponential_zero_tail_is_constant():
+    rng = make_rng(3)
+    d = ShiftedExponential(shift=0.25, mean_tail=0.0)
+    assert d.sample(rng) == 0.25
+    assert np.all(d.sample_n(rng, 5) == 0.25)
+
+
+def test_lognormal_mean_formula():
+    rng = make_rng(4)
+    d = LogNormal(mu=0.0, sigma=0.5)
+    samples = d.sample_n(rng, 100_000)
+    assert samples.mean() == pytest.approx(d.mean, rel=0.05)
+
+
+def test_lognormal_from_mean_cv_roundtrip():
+    rng = make_rng(5)
+    d = lognormal_from_mean_cv(mean=3.0, cv=1.5)
+    samples = d.sample_n(rng, 200_000)
+    assert samples.mean() == pytest.approx(3.0, rel=0.05)
+    assert samples.std() / samples.mean() == pytest.approx(1.5, rel=0.1)
+
+
+def test_lognormal_from_mean_cv_validation():
+    with pytest.raises(ValueError):
+        lognormal_from_mean_cv(mean=-1.0, cv=1.0)
+    with pytest.raises(ValueError):
+        lognormal_from_mean_cv(mean=1.0, cv=-0.1)
+
+
+def test_pareto_heavy_tail():
+    rng = make_rng(6)
+    d = Pareto(xm=1.0, alpha=2.0)
+    samples = d.sample_n(rng, 50_000)
+    assert samples.min() >= 1.0
+    assert d.mean == pytest.approx(2.0)
+    assert samples.mean() == pytest.approx(2.0, rel=0.1)
+
+
+def test_pareto_infinite_mean():
+    assert Pareto(xm=1.0, alpha=0.9).mean == float("inf")
+
+
+def test_uniform_bounds_and_mean():
+    rng = make_rng(7)
+    d = Uniform(1.0, 3.0)
+    samples = d.sample_n(rng, 10_000)
+    assert samples.min() >= 1.0 and samples.max() <= 3.0
+    assert d.mean == 2.0
+    with pytest.raises(ValueError):
+        Uniform(3.0, 1.0)
+
+
+def test_empirical_reproduces_quantiles():
+    rng = make_rng(8)
+    values = np.arange(1, 101, dtype=float)
+    d = Empirical(values)
+    samples = d.sample_n(rng, 50_000)
+    assert np.percentile(samples, 50) == pytest.approx(50.5, rel=0.05)
+    assert samples.min() >= 1.0 and samples.max() <= 100.0
+
+
+def test_empirical_scaling():
+    rng = make_rng(9)
+    d = Empirical([1.0, 2.0, 3.0], scale=10.0)
+    assert d.mean == pytest.approx(20.0)
+    scaled = d.with_scale(0.5)
+    assert scaled.mean == pytest.approx(1.0)
+    # Original is untouched.
+    assert d.scale == 10.0
+
+
+def test_empirical_validation():
+    with pytest.raises(ValueError):
+        Empirical([])
+    with pytest.raises(ValueError):
+        Empirical([-1.0, 2.0])
+    with pytest.raises(ValueError):
+        Empirical([1.0], scale=0.0)
+
+
+def test_empirical_single_value():
+    rng = make_rng(10)
+    d = Empirical([7.0])
+    assert np.all(d.sample_n(rng, 100) == 7.0)

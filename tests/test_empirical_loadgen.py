@@ -1,0 +1,78 @@
+"""Tests for trace-derived empirical load generation."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import build_plan, empirical_mixes, mixes_from_trace
+from repro.sim.distributions import Empirical, Exponential, make_rng
+from repro.trace.model import Trace, TraceFunction
+from repro.trace.scaling import little_load
+
+
+def periodic_trace(period=10.0, n=50, name="f"):
+    functions = [TraceFunction(name=name, memory_mb=64.0, warm_time=1.0,
+                               cold_time=2.0)]
+    ts = np.arange(n) * period
+    return Trace(functions, ts, np.zeros(n, dtype=np.int64),
+                 duration=n * period)
+
+
+def test_empirical_mixes_reproduce_iat_scale():
+    trace = periodic_trace(period=10.0)
+    mixes = empirical_mixes(trace)
+    assert len(mixes) == 1
+    assert isinstance(mixes[0].iat, Empirical)
+    rng = make_rng(0)
+    samples = mixes[0].iat.sample_n(rng, 1000)
+    assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+
+def test_empirical_mixes_scale_factor():
+    trace = periodic_trace(period=10.0)
+    mixes = empirical_mixes(trace, scale=2.0)
+    rng = make_rng(1)
+    assert mixes[0].iat.sample_n(rng, 500).mean() == pytest.approx(20.0, rel=0.05)
+
+
+def test_per_function_scale_override():
+    trace = periodic_trace(period=10.0, name="hot")
+    mixes = empirical_mixes(trace, per_function_scale={"hot": 0.5})
+    rng = make_rng(2)
+    assert mixes[0].iat.sample_n(rng, 500).mean() == pytest.approx(5.0, rel=0.05)
+
+
+def test_sparse_function_falls_back_to_exponential():
+    functions = [TraceFunction(name="rare", memory_mb=64.0, warm_time=1.0,
+                               cold_time=2.0)]
+    trace = Trace(functions, np.array([5.0]), np.array([0]), duration=100.0)
+    mixes = empirical_mixes(trace)
+    assert isinstance(mixes[0].iat, Exponential)
+    assert mixes[0].iat.mean == pytest.approx(100.0)
+
+
+def test_mixes_from_trace_hits_target_load():
+    trace = periodic_trace(period=2.0, n=200)  # load = 1.0/2.0 * ... = 0.5
+    assert little_load(trace) == pytest.approx(0.5)
+    mixes = mixes_from_trace(trace, target_load=0.25)
+    plan = build_plan(mixes, duration=trace.duration, seed=3)
+    # Halving load doubles IATs -> roughly half the arrivals.
+    assert len(plan) == pytest.approx(100, rel=0.3)
+
+
+def test_validation():
+    trace = periodic_trace()
+    with pytest.raises(ValueError):
+        empirical_mixes(trace, scale=0.0)
+    with pytest.raises(ValueError):
+        empirical_mixes(trace, per_function_scale={"f": -1.0})
+    with pytest.raises(ValueError):
+        mixes_from_trace(trace, target_load=0.0)
+
+
+def test_plan_builds_and_respects_start_offset():
+    trace = periodic_trace(period=5.0)
+    mixes = empirical_mixes(trace)
+    assert mixes[0].start_offset == pytest.approx(0.0)
+    plan = build_plan(mixes, duration=100.0, seed=4)
+    assert len(plan) > 5
+    assert plan.fqdns[0] == "f.1"

@@ -1,0 +1,163 @@
+"""Unit tests for the memory-bounded keep-alive cache."""
+
+import pytest
+
+from repro.keepalive.cache import KeepAliveCache
+from repro.keepalive.policies import (
+    GreedyDualPolicy,
+    LRUPolicy,
+    TTLPolicy,
+)
+
+
+def lru_cache(capacity=1000.0):
+    return KeepAliveCache(LRUPolicy(), capacity_mb=capacity)
+
+
+def test_insert_and_hit():
+    c = lru_cache()
+    c.insert("f", 100.0, 1.0, 0.1, now=0.0)
+    hit = c.lookup("f", now=1.0)
+    assert hit is not None
+    assert c.stats.hits == 1
+    assert c.used_mb == 100.0
+
+
+def test_miss_on_unknown_function():
+    c = lru_cache()
+    assert c.lookup("ghost", now=0.0) is None
+    assert c.stats.misses == 1
+
+
+def test_busy_container_not_reusable():
+    c = lru_cache()
+    e = c.insert("f", 100.0, 1.0, 0.1, now=0.0)
+    c.finish(e, busy_until=5.0)
+    assert c.lookup("f", now=2.0) is None  # still running
+    assert c.lookup("f", now=5.0) is not None
+
+
+def test_eviction_frees_memory_lru_order():
+    c = lru_cache(capacity=250.0)
+    c.insert("a", 100.0, 1.0, 0.1, now=0.0)
+    c.insert("b", 100.0, 1.0, 0.1, now=1.0)
+    # Touch a so b is the LRU victim.
+    c.lookup("a", now=2.0)
+    c.insert("c", 100.0, 1.0, 0.1, now=3.0)
+    assert c.containers_of("b") == []
+    assert len(c.containers_of("a")) == 1
+    assert c.stats.evictions == 1
+    c.check_invariants(now=3.0)
+
+
+def test_busy_containers_never_evicted():
+    c = lru_cache(capacity=200.0)
+    e = c.insert("a", 150.0, 1.0, 0.1, now=0.0)
+    c.finish(e, busy_until=100.0)
+    # Needs eviction of a, but a is busy -> rejected.
+    assert c.insert("b", 100.0, 1.0, 0.1, now=1.0) is None
+    assert c.stats.rejected == 1
+    assert len(c.containers_of("a")) == 1
+
+
+def test_oversized_insert_rejected():
+    c = lru_cache(capacity=100.0)
+    assert c.insert("big", 200.0, 1.0, 0.1, now=0.0) is None
+    assert c.stats.rejected == 1
+
+
+def test_ttl_lazy_expiry_on_lookup():
+    c = KeepAliveCache(TTLPolicy(ttl=600.0), capacity_mb=1000.0)
+    c.insert("f", 100.0, 1.0, 0.1, now=0.0)
+    assert c.lookup("f", now=601.0) is None  # expired -> miss
+    assert c.stats.expirations == 1
+    assert c.used_mb == 0.0
+
+
+def test_ttl_refreshes_on_access():
+    c = KeepAliveCache(TTLPolicy(ttl=600.0), capacity_mb=1000.0)
+    c.insert("f", 100.0, 1.0, 0.1, now=0.0)
+    hit = c.lookup("f", now=500.0)
+    assert hit is not None
+    c.finish(hit, busy_until=500.1)
+    assert c.lookup("f", now=1000.0) is not None  # 500 s idle < TTL again
+
+
+def test_expire_sweep():
+    c = KeepAliveCache(TTLPolicy(ttl=10.0), capacity_mb=1000.0)
+    c.insert("a", 100.0, 1.0, 0.1, now=0.0)
+    c.insert("b", 100.0, 1.0, 0.1, now=5.0)
+    n = c.expire(now=12.0)
+    assert n == 1  # only a has been idle > 10 s
+    assert c.containers_of("a") == []
+    assert len(c.containers_of("b")) == 1
+
+
+def test_gd_eviction_prefers_low_value():
+    c = KeepAliveCache(GreedyDualPolicy(), capacity_mb=300.0)
+    c.insert("cheap_big", 200.0, init_cost=0.5, warm_time=0.1, now=0.0)
+    c.insert("dear_small", 50.0, init_cost=5.0, warm_time=0.1, now=1.0)
+    # Need 150 more: GD should evict cheap_big (low cost/size).
+    c.insert("new", 150.0, init_cost=1.0, warm_time=0.1, now=2.0)
+    assert c.containers_of("cheap_big") == []
+    assert len(c.containers_of("dear_small")) == 1
+
+
+def test_multiple_containers_per_function():
+    c = lru_cache()
+    c.insert("f", 100.0, 1.0, 0.1, now=0.0)
+    c.insert("f", 100.0, 1.0, 0.1, now=0.0)
+    assert len(c.containers_of("f")) == 2
+    assert len(c) == 2
+    a = c.lookup("f", now=1.0)
+    b = c.lookup("f", now=1.0)
+    assert a is not None and b is not None and a is not b
+
+
+def test_set_capacity_shrink_evicts_idle():
+    c = lru_cache(capacity=1000.0)
+    for i in range(5):
+        c.insert(f"f{i}", 100.0, 1.0, 0.1, now=float(i))
+    c.set_capacity(250.0, now=10.0)
+    assert c.used_mb <= 250.0
+    c.check_invariants(now=10.0)
+
+
+def test_set_capacity_grow():
+    c = lru_cache(capacity=100.0)
+    c.set_capacity(500.0, now=0.0)
+    assert c.insert("f", 400.0, 1.0, 0.1, now=0.0) is not None
+
+
+def test_set_capacity_validation():
+    c = lru_cache()
+    with pytest.raises(ValueError):
+        c.set_capacity(0.0, now=0.0)
+    with pytest.raises(ValueError):
+        KeepAliveCache(LRUPolicy(), capacity_mb=-1.0)
+
+
+def test_evict_one_skips_busy():
+    c = lru_cache(capacity=1000.0)
+    busy = c.insert("a", 100.0, 1.0, 0.1, now=0.0)
+    c.finish(busy, busy_until=100.0)
+    c.insert("b", 100.0, 1.0, 0.1, now=1.0)
+    victim = c.evict_one(now=2.0)
+    assert victim is not None and victim.fqdn == "b"
+    assert c.evict_one(now=2.0) is None  # only the busy one remains
+
+
+def test_hit_ratio_stats():
+    c = lru_cache()
+    c.insert("f", 100.0, 1.0, 0.1, now=0.0)
+    c.lookup("f", now=1.0)
+    c.lookup("ghost", now=1.0)
+    assert c.stats.accesses == 2
+    assert c.stats.hit_ratio == pytest.approx(0.5)
+    assert c.stats.miss_ratio == pytest.approx(0.5)
+
+
+def test_free_mb_accounting():
+    c = lru_cache(capacity=500.0)
+    c.insert("f", 200.0, 1.0, 0.1, now=0.0)
+    assert c.free_mb == pytest.approx(300.0)

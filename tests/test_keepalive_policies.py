@@ -1,0 +1,251 @@
+"""Unit tests for keep-alive policies (TTL/LRU/FREQ/GD/LND/HIST)."""
+
+import math
+
+import pytest
+
+from repro.keepalive.entries import WarmContainer
+from repro.keepalive.policies import (
+    POLICY_NAMES,
+    GreedyDualPolicy,
+    HistogramPolicy,
+    LandlordPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    TTLPolicy,
+    make_policy,
+)
+
+
+def make_entry(fqdn="f", memory=100.0, init=1.0, now=0.0):
+    return WarmContainer(fqdn=fqdn, memory_mb=memory, init_cost=init,
+                         warm_time=0.1, now=now)
+
+
+# ----------------------------------------------------------------- entries
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        make_entry(memory=0.0)
+    with pytest.raises(ValueError):
+        make_entry(init=-1.0)
+
+
+def test_entry_touch_updates_freq_and_recency():
+    e = make_entry(now=0.0)
+    e.touch(5.0)
+    assert e.freq == 2
+    assert e.last_used == 5.0
+
+
+def test_entry_idle_by_busy_until():
+    e = make_entry(now=0.0)
+    e.busy_until = 10.0
+    assert not e.is_idle(5.0)
+    assert e.is_idle(10.0)
+
+
+# --------------------------------------------------------------------- LRU
+def test_lru_priority_is_recency():
+    p = LRUPolicy()
+    a, b = make_entry(now=1.0), make_entry(now=2.0)
+    assert p.priority(a, 3.0) < p.priority(b, 3.0)
+    assert p.expiry_time(a) == float("inf")  # work-conserving
+
+
+# --------------------------------------------------------------------- TTL
+def test_ttl_expiry_and_lru_order():
+    p = TTLPolicy(ttl=600.0)
+    e = make_entry(now=100.0)
+    assert p.expiry_time(e) == pytest.approx(700.0)
+    assert p.priority(e, 200.0) == e.last_used
+
+
+def test_ttl_validation():
+    with pytest.raises(ValueError):
+        TTLPolicy(ttl=0.0)
+
+
+# --------------------------------------------------------------------- LFU
+def test_lfu_priority_is_frequency():
+    p = LFUPolicy()
+    a, b = make_entry(), make_entry()
+    b.touch(1.0)
+    assert p.priority(a, 2.0) < p.priority(b, 2.0)
+
+
+# ---------------------------------------------------------------------- GD
+def test_gd_priority_formula():
+    p = GreedyDualPolicy()
+    e = make_entry(memory=200.0, init=4.0)
+    # clock 0, freq 1: priority = 1 * 4 / 200
+    assert p.priority(e, 0.0) == pytest.approx(0.02)
+
+
+def test_gd_clock_inflation_on_eviction():
+    p = GreedyDualPolicy()
+    victim = make_entry(memory=100.0, init=5.0)
+    victim.priority = 0.05
+    p.on_evict(victim)
+    assert p.clock == pytest.approx(0.05)
+    fresh = make_entry(memory=100.0, init=1.0)
+    # New entries start above the clock.
+    assert p.priority(fresh, 0.0) == pytest.approx(0.05 + 0.01)
+
+
+def test_gd_clock_never_decreases():
+    p = GreedyDualPolicy()
+    hi = make_entry()
+    hi.priority = 1.0
+    lo = make_entry()
+    lo.priority = 0.5
+    p.on_evict(hi)
+    p.on_evict(lo)
+    assert p.clock == 1.0
+
+
+def test_gd_favours_high_cost_small_entries():
+    p = GreedyDualPolicy()
+    cheap_big = make_entry(memory=512.0, init=1.0)
+    dear_small = make_entry(memory=64.0, init=2.0)
+    assert p.priority(dear_small, 0.0) > p.priority(cheap_big, 0.0)
+
+
+def test_gd_reset_clears_clock():
+    p = GreedyDualPolicy()
+    e = make_entry()
+    e.priority = 3.0
+    p.on_evict(e)
+    p.reset()
+    assert p.clock == 0.0
+
+
+# ---------------------------------------------------------------- Landlord
+def test_landlord_ignores_frequency():
+    p = LandlordPolicy()
+    e = make_entry(memory=100.0, init=2.0)
+    before = p.priority(e, 0.0)
+    e.touch(1.0)  # freq 2
+    assert p.priority(e, 1.0) == pytest.approx(before)
+
+
+def test_landlord_clock_inflation():
+    p = LandlordPolicy()
+    victim = make_entry()
+    victim.priority = 0.7
+    p.on_evict(victim)
+    assert p.clock == pytest.approx(0.7)
+
+
+# -------------------------------------------------------------------- HIST
+def test_hist_unknown_function_gets_generic_ttl():
+    p = HistogramPolicy(generic_ttl=7200.0)
+    e = make_entry(now=0.0)
+    assert p.expiry_time(e) == pytest.approx(7200.0)
+
+
+def test_hist_records_iats_in_minute_buckets():
+    p = HistogramPolicy(min_samples=2)
+    for t in [0.0, 120.0, 240.0, 360.0, 480.0]:  # IAT exactly 2 min
+        p.record_arrival("f", t)
+    hist = p._history["f"]
+    assert hist.stats.n == 4
+    assert hist.buckets[2] == 4
+    assert hist.predictable  # CoV = 0
+
+
+def test_hist_predictable_function_preloads():
+    p = HistogramPolicy(min_samples=2)
+    for t in [0.0, 120.0, 240.0, 360.0]:
+        p.record_arrival("f", t)
+    reqs = p.preloads_after("f", 360.0)
+    assert len(reqs) == 1
+    req = reqs[0]
+    # Preload before the lower edge of the IAT bucket (2 min = 120 s).
+    assert 360.0 < req.when <= 360.0 + 120.0
+    # Keep through the upper edge of the tail bucket (3 min = 180 s) + margin.
+    assert req.keep_until >= 360.0 + 180.0
+
+
+def test_hist_predictable_expiry_releases_immediately():
+    p = HistogramPolicy(min_samples=2)
+    for t in [0.0, 120.0, 240.0, 360.0]:
+        p.record_arrival("f", t)
+    e = make_entry(fqdn="f", now=360.0)
+    assert p.expiry_time(e) == pytest.approx(360.0)
+
+
+def test_hist_subminute_iat_keeps_warm_no_preload():
+    p = HistogramPolicy(min_samples=2)
+    for t in [0.0, 10.0, 20.0, 30.0, 40.0]:  # IAT 10 s -> bucket 0
+        p.record_arrival("f", t)
+    assert p.preloads_after("f", 40.0) == []
+    e = make_entry(fqdn="f", now=40.0)
+    # Keep through the tail (upper edge of bucket 0 = 60 s) + margin.
+    assert p.expiry_time(e) == pytest.approx(40.0 + 60.0 * 1.15)
+
+
+def test_hist_unpredictable_falls_back_to_generic():
+    p = HistogramPolicy(min_samples=2)
+    # Nine 1-second IATs followed by one ~4-hour-window-edge gap: the
+    # Welford CoV lands around 3, well past the 2.0 predictability gate.
+    stamps = [float(i) for i in range(10)] + [14000.0]
+    for t in stamps:
+        p.record_arrival("f", t)
+    hist = p._history["f"]
+    assert not hist.predictable
+    assert hist.stats.cov > 2.0
+    e = make_entry(fqdn="f", now=14000.0)
+    assert p.expiry_time(e) == pytest.approx(14000.0 + p.generic_ttl)
+
+
+def test_hist_out_of_window_iats_not_recorded():
+    p = HistogramPolicy(window_hours=4.0, min_samples=1)
+    p.record_arrival("f", 0.0)
+    p.record_arrival("f", 5 * 3600.0)  # 5 h > 4 h window
+    assert p._history["f"].stats.n == 0
+
+
+def test_hist_percentile_edges():
+    p = HistogramPolicy(min_samples=2)
+    for t in [0.0, 90.0, 180.0]:  # IAT 90 s -> bucket 1
+        p.record_arrival("f", t)
+    hist = p._history["f"]
+    assert hist.percentile_iat(50.0, edge="lower") == pytest.approx(60.0)
+    assert hist.percentile_iat(50.0, edge="upper") == pytest.approx(120.0)
+    with pytest.raises(ValueError):
+        hist.percentile_iat(50.0, edge="middle")
+
+
+def test_hist_validation():
+    with pytest.raises(ValueError):
+        HistogramPolicy(generic_ttl=0.0)
+    with pytest.raises(ValueError):
+        HistogramPolicy(margin=1.0)
+    with pytest.raises(ValueError):
+        HistogramPolicy(head_percentile=50.0, tail_percentile=10.0)
+
+
+def test_hist_reset():
+    p = HistogramPolicy()
+    p.record_arrival("f", 0.0)
+    p.reset()
+    assert p._history == {}
+
+
+# ------------------------------------------------------------------ factory
+def test_make_policy_all_names():
+    for name in POLICY_NAMES:
+        policy = make_policy(name)
+        assert policy.name == name
+
+
+def test_make_policy_aliases_and_kwargs():
+    assert isinstance(make_policy("gdsf"), GreedyDualPolicy)
+    assert isinstance(make_policy("landlord"), LandlordPolicy)
+    assert isinstance(make_policy("lfu"), LFUPolicy)
+    assert make_policy("ttl", ttl=60.0).ttl == 60.0
+
+
+def test_make_policy_unknown():
+    with pytest.raises(ValueError):
+        make_policy("mystery")

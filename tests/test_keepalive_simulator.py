@@ -1,0 +1,142 @@
+"""Unit tests for the trace-driven keep-alive simulator."""
+
+import numpy as np
+import pytest
+
+from repro.keepalive.policies import make_policy
+from repro.keepalive.simulator import (
+    KeepAliveSimulator,
+    simulate,
+    sweep_cache_sizes,
+)
+from repro.trace.model import Trace, TraceFunction
+
+
+def make_trace(timestamps, fidx, functions, duration=None):
+    return Trace(
+        functions=functions,
+        timestamps=np.asarray(timestamps, dtype=float),
+        function_idx=np.asarray(fidx, dtype=np.int64),
+        duration=duration,
+    )
+
+
+F = TraceFunction(name="f", memory_mb=100.0, warm_time=1.0, cold_time=3.0)
+G = TraceFunction(name="g", memory_mb=100.0, warm_time=1.0, cold_time=2.0)
+
+
+def test_first_invocation_always_cold():
+    trace = make_trace([0.0], [0], [F])
+    r = simulate(trace, "LRU", 1024.0)
+    assert r.cold_starts == 1
+    assert r.warm_starts == 0
+    assert r.cold_ratio == 1.0
+
+
+def test_reuse_is_warm():
+    trace = make_trace([0.0, 10.0, 20.0], [0, 0, 0], [F])
+    r = simulate(trace, "LRU", 1024.0)
+    assert r.cold_starts == 1
+    assert r.warm_starts == 2
+
+
+def test_concurrent_invocations_both_cold():
+    # Second arrival lands while the first container is busy (cold run
+    # takes 3 s): the spawn-start effect.
+    trace = make_trace([0.0, 1.0], [0, 0], [F])
+    r = simulate(trace, "LRU", 1024.0)
+    assert r.cold_starts == 2
+
+
+def test_exec_increase_accounting():
+    trace = make_trace([0.0, 10.0], [0, 0], [F])
+    r = simulate(trace, "LRU", 1024.0)
+    # One cold (init 2 s) over total warm exec 2 s -> 100%.
+    assert r.exec_increase_pct == pytest.approx(100.0)
+    assert r.total_cold_overhead == pytest.approx(2.0)
+    assert r.total_warm_exec == pytest.approx(2.0)
+
+
+def test_ttl_expires_between_invocations():
+    trace = make_trace([0.0, 700.0], [0, 0], [F], duration=1000.0)
+    ttl = simulate(trace, "TTL", 1024.0)
+    assert ttl.cold_starts == 2  # 700 s idle > 600 s TTL
+    lru = simulate(trace, "LRU", 1024.0)
+    assert lru.cold_starts == 1  # work-conserving: plenty of memory
+
+
+def test_memory_pressure_forces_eviction():
+    # Cache fits one container; alternating functions always evict.
+    trace = make_trace([0.0, 10.0, 20.0, 30.0], [0, 1, 0, 1], [F, G])
+    r = simulate(trace, "LRU", 150.0)
+    assert r.cold_starts == 4
+    assert r.evictions >= 2
+
+
+def test_uncacheable_when_all_busy():
+    # Three overlapping invocations, room for only one container.
+    trace = make_trace([0.0, 0.5, 1.0], [0, 0, 0], [F])
+    r = simulate(trace, "LRU", 150.0)
+    assert r.cold_starts == 3
+    assert r.uncacheable >= 1
+
+
+def test_per_function_cold_breakdown():
+    trace = make_trace([0.0, 10.0, 20.0], [0, 1, 0], [F, G])
+    r = simulate(trace, "LRU", 1024.0)
+    assert r.per_function_cold == {"f": 1, "g": 1}
+
+
+def test_hist_policy_preloads_counted():
+    # Strictly periodic function with a 2-minute gap: HIST should learn
+    # the pattern and prewarm.
+    stamps = [i * 120.0 for i in range(30)]
+    trace = make_trace(stamps, [0] * 30, [F], duration=30 * 120.0)
+    r = simulate(trace, "HIST", 1024.0)
+    assert r.preloads > 0
+    # After warmup, arrivals hit prewarmed containers.
+    assert r.warm_starts > 15
+
+
+def test_on_tick_called_and_can_resize():
+    stamps = [float(i) for i in range(100)]
+    trace = make_trace(stamps, [0] * 100, [F], duration=100.0)
+    ticks = []
+
+    def on_tick(now, sim):
+        ticks.append(now)
+        sim.cache.set_capacity(500.0, now)
+
+    sim = KeepAliveSimulator(
+        make_policy("LRU"), 1024.0, tick_interval=10.0, on_tick=on_tick
+    )
+    sim.run(trace)
+    assert ticks and ticks[0] == 10.0
+    assert sim.cache.capacity_mb == 500.0
+
+
+def test_tick_interval_validation():
+    with pytest.raises(ValueError):
+        KeepAliveSimulator(make_policy("LRU"), 1024.0, tick_interval=0.0)
+
+
+def test_sweep_cache_sizes_shapes():
+    trace = make_trace([0.0, 10.0, 20.0], [0, 0, 0], [F])
+    results = sweep_cache_sizes(trace, ["LRU", "GD"], [0.5, 1.0])
+    assert len(results) == 4
+    assert {r.policy for r in results} == {"LRU", "GD"}
+    assert {r.cache_size_mb for r in results} == {512.0, 1024.0}
+
+
+def test_result_row_fields():
+    trace = make_trace([0.0], [0], [F])
+    row = simulate(trace, "LRU", 1024.0).row()
+    assert set(row) == {"policy", "cache_gb", "invocations", "cold_ratio",
+                        "exec_increase_pct"}
+
+
+def test_empty_trace():
+    trace = make_trace([], [], [F], duration=10.0)
+    r = simulate(trace, "GD", 1024.0)
+    assert r.invocations == 0
+    assert np.isnan(r.cold_ratio)

@@ -1,0 +1,22 @@
+"""Unit-level runs of the LB ablation experiments (tiny durations)."""
+
+from repro.experiments.lb_ablation import run_lb_ablation, run_lb_policy_comparison
+
+
+def test_bound_factor_ablation_rows():
+    rows = run_lb_ablation(bound_factors=(1.0, 2.0), num_workers=2,
+                           duration=60.0)
+    assert [r["bound_factor"] for r in rows] == [1.0, 2.0]
+    for row in rows:
+        assert row["completed"] > 0
+        assert 0.0 <= row["warm_ratio"] <= 1.0
+        assert row["forwards"] >= 0
+
+
+def test_policy_comparison_rows():
+    rows = run_lb_policy_comparison(policies=("ch_bl", "round_robin"),
+                                    num_workers=2, duration=60.0)
+    assert {r["policy"] for r in rows} == {"ch_bl", "round_robin"}
+    for row in rows:
+        assert row["completed"] > 0
+        assert row["e2e_p99_ms"] >= row["e2e_p50_ms"]

@@ -1,0 +1,137 @@
+"""Tests for alternative LB policies and the status board."""
+
+import pytest
+
+from repro import FunctionRegistration, WorkerConfig
+from repro.loadbalancer import (
+    Cluster,
+    LeastLoadedBalancer,
+    RoundRobinBalancer,
+    StatusBoard,
+    make_balancer,
+)
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------- policies
+def test_round_robin_rotates():
+    rr = RoundRobinBalancer()
+    for w in ("a", "b", "c"):
+        rr.add_worker(w)
+    picks = [rr.pick("any") for _ in range(6)]
+    assert picks == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_round_robin_validation():
+    rr = RoundRobinBalancer()
+    with pytest.raises(RuntimeError):
+        rr.pick("x")
+    rr.add_worker("a")
+    with pytest.raises(ValueError):
+        rr.add_worker("a")
+    rr.remove_worker("a")
+    with pytest.raises(RuntimeError):
+        rr.pick("x")
+
+
+def test_least_loaded_tracks_load():
+    loads = {"a": 5.0, "b": 1.0}
+    ll = LeastLoadedBalancer(load_fn=loads.__getitem__)
+    ll.add_worker("a")
+    ll.add_worker("b")
+    assert ll.pick("f") == "b"
+    loads["b"] = 10.0
+    assert ll.pick("f") == "a"
+
+
+def test_make_balancer_factory():
+    assert make_balancer("round_robin", lambda w: 0.0).name == "round_robin"
+    assert make_balancer("least_loaded", lambda w: 0.0).name == "least_loaded"
+    assert make_balancer("CHBL", lambda w: 0.0).name == "ch_bl"
+    with pytest.raises(ValueError):
+        make_balancer("random", lambda w: 0.0)
+
+
+# ------------------------------------------------------------- status board
+def test_status_board_live_mode():
+    loads = {"a": 1.0}
+    board = StatusBoard(clock=lambda: 0.0, live_load_fn=loads.__getitem__)
+    assert board.load("a") == 1.0
+    loads["a"] = 7.0
+    assert board.load("a") == 7.0  # live: changes visible immediately
+
+
+def test_status_board_staleness():
+    clock = {"t": 0.0}
+    loads = {"a": 1.0}
+    board = StatusBoard(clock=lambda: clock["t"],
+                        live_load_fn=loads.__getitem__, interval=10.0)
+    assert board.load("a") == 1.0
+    loads["a"] = 99.0
+    clock["t"] = 5.0
+    assert board.load("a") == 1.0  # still the old snapshot
+    clock["t"] = 10.0
+    assert board.load("a") == 99.0  # refreshed
+    assert board.refreshes == 2
+
+
+def test_status_board_validation():
+    with pytest.raises(ValueError):
+        StatusBoard(clock=lambda: 0.0, live_load_fn=lambda w: 0.0, interval=0.0)
+
+
+# ------------------------------------------------------------------ cluster
+def _cfg():
+    return WorkerConfig(backend="null", cores=4, memory_mb=4096.0)
+
+
+def test_cluster_round_robin_spreads_function():
+    env = Environment()
+    cl = Cluster(env, num_workers=3, config=_cfg(), lb_policy="round_robin")
+    cl.start()
+    cl.register_sync(FunctionRegistration(name="f", warm_time=0.05,
+                                          cold_time=0.3))
+    for _ in range(6):
+        env.run_process(cl.invoke("f.1"))
+    used = {w.name for w in cl.workers.values() if w.metrics.records}
+    assert len(used) == 3  # locality destroyed
+    # And therefore more cold starts than CH-BL's single-worker locality.
+    colds = sum(1 for r in cl.records() if r.cold)
+    assert colds == 3
+
+
+def test_cluster_chbl_beats_round_robin_on_warm_ratio():
+    def run(policy):
+        env = Environment()
+        cl = Cluster(env, num_workers=4, config=_cfg(), lb_policy=policy)
+        cl.start()
+        for i in range(6):
+            cl.register_sync(
+                FunctionRegistration(name=f"f{i}", warm_time=0.05, cold_time=0.4)
+            )
+        for _ in range(8):
+            for i in range(6):
+                env.run_process(cl.invoke(f"f{i}.1"))
+        records = cl.records()
+        return sum(1 for r in records if not r.cold) / len(records)
+
+    assert run("ch_bl") > run("round_robin")
+
+
+def test_cluster_with_stale_status_still_works():
+    env = Environment()
+    cl = Cluster(env, num_workers=2, config=_cfg(), status_interval=5.0)
+    cl.start()
+    cl.register_sync(FunctionRegistration(name="f", warm_time=0.05,
+                                          cold_time=0.3))
+    for _ in range(4):
+        env.run_process(cl.invoke("f.1"))
+    assert len(cl.records()) == 4
+    assert cl.status_board.refreshes >= 1
+
+
+def test_cluster_status_reports_policy():
+    env = Environment()
+    cl = Cluster(env, num_workers=2, config=_cfg(), lb_policy="least_loaded")
+    assert cl.status()["policy"] == "least_loaded"
+    assert cl.status()["forwards"] == 0  # not a CH-BL concept

@@ -1,0 +1,192 @@
+"""Tests for load generation and workload catalogs."""
+
+import numpy as np
+import pytest
+
+from repro import Environment, FunctionRegistration, Worker, WorkerConfig
+from repro.loadgen import (
+    FunctionMix,
+    InvocationPlan,
+    build_plan,
+    plan_from_trace,
+    replay_plan,
+    run_closed_loop,
+)
+from repro.sim.distributions import Constant, Exponential
+from repro.trace.model import Trace, TraceFunction
+from repro.workloads import (
+    FUNCTIONBENCH,
+    catalog_table,
+    closest_bench_function,
+    lookbusy_function,
+    lookbusy_population,
+    map_trace_to_catalog,
+    registration_for,
+)
+
+
+def make_worker(**overrides):
+    env = Environment()
+    defaults = dict(backend="null", cores=4, memory_mb=4096.0)
+    defaults.update(overrides)
+    worker = Worker(env, WorkerConfig(**defaults))
+    worker.start()
+    return env, worker
+
+
+# -------------------------------------------------------------- closed loop
+def test_closed_loop_counts_and_warmup_filter():
+    env, worker = make_worker()
+    worker.register_sync(FunctionRegistration(name="f", warm_time=0.1,
+                                              cold_time=0.2))
+    result = run_closed_loop(env, worker, "f.1", clients=2, duration=5.0,
+                             warmup=1.0)
+    assert result.completed
+    assert all(i.arrival >= 1.0 for i in result.invocations)
+    assert result.throughput > 0
+
+
+def test_closed_loop_think_time_reduces_throughput():
+    env1, w1 = make_worker()
+    w1.register_sync(FunctionRegistration(name="f", warm_time=0.1, cold_time=0.2))
+    fast = run_closed_loop(env1, w1, "f.1", clients=1, duration=10.0)
+    env2, w2 = make_worker()
+    w2.register_sync(FunctionRegistration(name="f", warm_time=0.1, cold_time=0.2))
+    slow = run_closed_loop(env2, w2, "f.1", clients=1, duration=10.0,
+                           think_time=0.5)
+    assert len(slow.completed) < len(fast.completed)
+
+
+def test_closed_loop_validation():
+    env, worker = make_worker()
+    worker.register_sync(FunctionRegistration(name="f"))
+    with pytest.raises(ValueError):
+        run_closed_loop(env, worker, "f.1", clients=0, duration=1.0)
+    with pytest.raises(ValueError):
+        run_closed_loop(env, worker, "f.1", clients=1, duration=0.0)
+
+
+# ---------------------------------------------------------------- open loop
+def test_build_plan_sorted_and_bounded():
+    plan = build_plan(
+        [FunctionMix("a.1", Exponential(0.5)), FunctionMix("b.1", Exponential(1.0))],
+        duration=20.0,
+        seed=1,
+    )
+    assert len(plan) > 10
+    assert np.all(np.diff(plan.timestamps) >= 0)
+    assert plan.timestamps.max() < 20.0
+    assert set(plan.fqdns) == {"a.1", "b.1"}
+
+
+def test_build_plan_constant_iat_deterministic():
+    plan = build_plan([FunctionMix("a.1", Constant(2.0))], duration=10.0)
+    assert plan.timestamps.tolist() == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_build_plan_start_offset():
+    plan = build_plan(
+        [FunctionMix("a.1", Constant(2.0), start_offset=5.0)], duration=10.0
+    )
+    assert plan.timestamps.tolist() == [7.0, 9.0]
+
+
+def test_build_plan_validation():
+    with pytest.raises(ValueError):
+        build_plan([], duration=10.0)
+    with pytest.raises(ValueError):
+        build_plan([FunctionMix("a.1", Constant(1.0))], duration=0.0)
+    with pytest.raises(ValueError):
+        FunctionMix("a.1", Constant(1.0), start_offset=-1.0)
+
+
+def test_plan_from_trace_round_trip():
+    functions = [TraceFunction(name="f", memory_mb=64.0, warm_time=0.1,
+                               cold_time=0.2)]
+    trace = Trace(functions, np.array([1.0, 2.0]), np.array([0, 0]),
+                  duration=5.0)
+    plan = plan_from_trace(trace)
+    assert plan.fqdns == ["f.1", "f.1"]
+    assert plan.timestamps.tolist() == [1.0, 2.0]
+
+
+def test_replay_plan_exact_timing():
+    env, worker = make_worker()
+    worker.register_sync(FunctionRegistration(name="f", warm_time=0.01,
+                                              cold_time=0.05))
+    plan = InvocationPlan(np.array([1.0, 3.0]), ["f.1", "f.1"], duration=5.0)
+    invocations = replay_plan(env, worker, plan)
+    assert len(invocations) == 2
+    assert invocations[0].arrival == pytest.approx(1.0)
+    assert invocations[1].arrival == pytest.approx(3.0)
+
+
+def test_invocation_plan_validation():
+    with pytest.raises(ValueError):
+        InvocationPlan(np.array([2.0, 1.0]), ["a", "b"], duration=5.0)
+    with pytest.raises(ValueError):
+        InvocationPlan(np.array([1.0]), ["a", "b"], duration=5.0)
+
+
+# --------------------------------------------------------------- workloads
+def test_catalog_matches_paper_table4():
+    ml = FUNCTIONBENCH["ml_inference"]
+    assert ml.memory_mb == 512.0
+    assert ml.run_time == 6.5
+    assert ml.init_time == 4.5
+    assert ml.warm_time == pytest.approx(2.0)
+    video = FUNCTIONBENCH["video_encoding"]
+    assert video.run_time == 56.0
+
+
+def test_catalog_table_rows():
+    rows = catalog_table()
+    assert len(rows) == len(FUNCTIONBENCH)
+    assert all({"application", "mem_mb", "run_s", "init_s"} <= set(r) for r in rows)
+
+
+def test_registration_for_maps_fields():
+    r = registration_for("float_op")
+    assert r.memory_mb == 128.0
+    assert r.warm_time == pytest.approx(0.3)
+    assert r.cold_time == pytest.approx(2.0)
+    with pytest.raises(KeyError):
+        registration_for("nope")
+
+
+def test_registration_for_versions_distinct():
+    assert registration_for("float_op", version=2).fqdn() == "float_op.2"
+
+
+def test_lookbusy_function_profile():
+    f = lookbusy_function("x", run_time=1.5, memory_mb=200.0, init_time=0.5)
+    assert f.warm_time == 1.5
+    assert f.cold_time == 2.0
+    with pytest.raises(ValueError):
+        lookbusy_function("x", run_time=0.0)
+
+
+def test_lookbusy_population():
+    pop = lookbusy_population(10, Constant(1.0), Constant(128.0),
+                              init_fraction=0.5, seed=1)
+    assert len(pop) == 10
+    assert len({f.name for f in pop}) == 10
+    for f in pop:
+        assert f.cold_time == pytest.approx(1.5)
+
+
+def test_closest_bench_function():
+    assert closest_bench_function(60.0).key == "video_encoding"
+    assert closest_bench_function(0.0).key == "pyaes"
+    with pytest.raises(ValueError):
+        closest_bench_function(1.0, catalog=[])
+
+
+def test_map_trace_to_catalog():
+    functions = [TraceFunction(name="f", memory_mb=64.0, warm_time=55.0,
+                               cold_time=60.0)]
+    trace = Trace(functions, np.array([0.0]), np.array([0]), duration=1.0)
+    mapped = map_trace_to_catalog(trace)
+    assert mapped.functions[0].memory_mb == 500.0  # video encoding profile
+    assert len(mapped) == 1
+    assert mapped.functions[0].name == "f"  # identity preserved

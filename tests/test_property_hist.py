@@ -1,0 +1,76 @@
+"""Property tests for the HIST policy's preload machinery and the
+simulator's invariants under it."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keepalive.policies import HistogramPolicy
+from repro.keepalive.simulator import KeepAliveSimulator
+from repro.trace.model import Trace, TraceFunction
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    iats=st.lists(
+        st.floats(min_value=1.0, max_value=7200.0), min_size=3, max_size=60
+    )
+)
+def test_hist_windows_are_ordered(iats):
+    p = HistogramPolicy(min_samples=2)
+    t = 0.0
+    for gap in iats:
+        p.record_arrival("f", t)
+        t += gap
+    windows = p._windows("f")
+    if windows is not None:
+        head, tail = windows
+        assert 0.0 <= head <= tail
+        # Bucket edges: both are multiples of 60 s.
+        assert head % 60.0 == 0.0
+        assert tail % 60.0 == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    gaps=st.lists(
+        st.sampled_from([30.0, 120.0, 300.0, 1800.0]), min_size=5, max_size=80
+    ),
+    n_functions=st.integers(min_value=1, max_value=4),
+)
+def test_hist_simulation_invariants(gaps, n_functions):
+    functions = [
+        TraceFunction(name=f"f{k}", memory_mb=100.0, warm_time=1.0,
+                      cold_time=2.0)
+        for k in range(n_functions)
+    ]
+    ts, idx = [], []
+    clocks = [0.0] * n_functions
+    for i, gap in enumerate(gaps):
+        k = i % n_functions
+        clocks[k] += gap
+        ts.append(clocks[k])
+        idx.append(k)
+    order = np.argsort(ts)
+    trace = Trace(
+        functions,
+        np.asarray(ts)[order],
+        np.asarray(idx, dtype=np.int64)[order],
+        duration=max(ts) + 1.0,
+    )
+    sim = KeepAliveSimulator(HistogramPolicy(min_samples=2), 1024.0)
+    result = sim.run(trace)
+    sim.cache.check_invariants(now=sim.now)
+    assert result.cold_starts + result.warm_starts == len(gaps)
+    assert result.preloads >= 0
+    assert sim.cache.used_mb <= 1024.0 + 1e-9
+
+
+def test_hist_preload_request_ordering():
+    from repro.keepalive.policies import PreloadRequest
+
+    a = PreloadRequest(when=1.0, fqdn="a", keep_until=5.0)
+    b = PreloadRequest(when=2.0, fqdn="b", keep_until=3.0)
+    assert a < b
+    assert not (b < a)

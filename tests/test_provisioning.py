@@ -1,0 +1,106 @@
+"""Tests for the dynamic-provisioning miss-speed controller."""
+
+import pytest
+
+from repro.provisioning import MissSpeedController, ProvisioningConfig
+
+
+def make_controller(**overrides):
+    defaults = dict(
+        target_miss_speed=1.0,   # 1 miss/s target for easy arithmetic
+        error_tolerance=0.30,
+        gain=0.5,
+        min_size_mb=100.0,
+        max_size_mb=10_000.0,
+        initial_size_mb=1000.0,
+        window=10.0,
+    )
+    defaults.update(overrides)
+    return MissSpeedController(ProvisioningConfig(**defaults))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ProvisioningConfig(target_miss_speed=0.0)
+    with pytest.raises(ValueError):
+        ProvisioningConfig(gain=0.0)
+    with pytest.raises(ValueError):
+        ProvisioningConfig(min_size_mb=2000.0, initial_size_mb=1000.0)
+    with pytest.raises(ValueError):
+        ProvisioningConfig(window=0.0)
+
+
+def test_first_update_establishes_baseline():
+    c = make_controller()
+    assert c.update(0.0, 0) == 1000.0
+    assert c.history == []
+
+
+def test_within_tolerance_no_resize():
+    c = make_controller()
+    c.update(0.0, 0)
+    # 11 misses in 10 s = 1.1/s; error 10% < 30% tolerance.
+    size = c.update(10.0, 11)
+    assert size == 1000.0
+    assert not c.history[-1].resized
+
+
+def test_miss_speed_above_target_grows():
+    c = make_controller()
+    c.update(0.0, 0)
+    # 20 misses in 10 s = 2/s; error +100% -> grow by gain*error = +50%.
+    size = c.update(10.0, 20)
+    assert size == pytest.approx(1500.0)
+    assert c.history[-1].resized
+
+
+def test_miss_speed_below_target_shrinks():
+    c = make_controller()
+    c.update(0.0, 0)
+    # 2 misses in 10 s = 0.2/s; error -80% -> shrink by 40%.
+    size = c.update(10.0, 2)
+    assert size == pytest.approx(600.0)
+
+
+def test_bounds_respected():
+    c = make_controller()
+    c.update(0.0, 0)
+    for window in range(1, 50):
+        c.update(window * 10.0, 0)  # persistent zero misses
+    assert c.size_mb == 100.0  # clamped at min
+    c2 = make_controller()
+    c2.update(0.0, 0)
+    misses = 0
+    for window in range(1, 50):
+        misses += 1000
+        c2.update(window * 10.0, misses)
+    assert c2.size_mb == 10_000.0  # clamped at max
+
+
+def test_average_size_and_savings():
+    c = make_controller(initial_size_mb=1000.0, max_size_mb=2000.0)
+    c.update(0.0, 0)
+    c.update(10.0, 2)   # shrink
+    c.update(20.0, 4)
+    avg = c.average_size_mb
+    assert avg < 1000.0
+    assert c.savings_vs_static(2000.0) == pytest.approx(1.0 - avg / 2000.0)
+    with pytest.raises(ValueError):
+        c.savings_vs_static(0.0)
+
+
+def test_timeseries_parallel_arrays():
+    c = make_controller()
+    c.update(0.0, 0)
+    c.update(10.0, 5)
+    c.update(20.0, 9)
+    times, sizes, speeds = c.timeseries()
+    assert len(times) == len(sizes) == len(speeds) == 2
+    assert times == [10.0, 20.0]
+
+
+def test_non_advancing_clock_ignored():
+    c = make_controller()
+    c.update(0.0, 0)
+    size_before = c.size_mb
+    assert c.update(0.0, 100) == size_before

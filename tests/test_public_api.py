@@ -1,0 +1,79 @@
+"""Public-API surface tests: exports, errors, version."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ContainerError,
+    DuplicateRegistration,
+    FunctionNotRegistered,
+    InsufficientResources,
+    InvocationDropped,
+    ReproError,
+)
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_version_matches_package_metadata():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_subpackage_exports_resolve():
+    import repro.baselines as b
+    import repro.containers as c
+    import repro.experiments as e
+    import repro.keepalive as k
+    import repro.loadbalancer as lb
+    import repro.loadgen as lg
+    import repro.metrics as m
+    import repro.provisioning as p
+    import repro.queueing as q
+    import repro.sim as s
+    import repro.trace as t
+    import repro.workloads as w
+
+    for module in (b, c, e, k, lb, lg, m, p, q, s, t, w):
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{module.__name__}.{name}"
+
+
+def test_error_hierarchy():
+    for exc in (
+        FunctionNotRegistered("f"),
+        DuplicateRegistration("f"),
+        InvocationDropped("f"),
+        ContainerError(),
+        InsufficientResources(),
+        ConfigurationError(),
+    ):
+        assert isinstance(exc, ReproError)
+
+
+def test_error_messages_carry_context():
+    err = FunctionNotRegistered("missing.1")
+    assert "missing.1" in str(err)
+    assert err.name == "missing.1"
+    drop = InvocationDropped("f.1", reason="queue overflow")
+    assert drop.function == "f.1"
+    assert "queue overflow" in str(drop)
+    dup = DuplicateRegistration("twice.1")
+    assert dup.name == "twice.1"
+
+
+def test_quickstart_docstring_snippet_runs():
+    """The module docstring's control-plane example must actually work."""
+    from repro import Environment, FunctionRegistration, Worker, WorkerConfig
+
+    env = Environment()
+    worker = Worker(env, WorkerConfig(backend="null"))
+    worker.start()
+    worker.register_sync(
+        FunctionRegistration(name="hello", warm_time=0.05, cold_time=0.5)
+    )
+    inv = env.run_process(worker.invoke("hello.1"))
+    assert inv.cold and inv.e2e_time > 0

@@ -1,0 +1,243 @@
+"""Unit tests for queue disciplines, bypass, and the concurrency regulator."""
+
+import pytest
+
+from repro.core.characteristics import CharacteristicsMap
+from repro.core.function import FunctionRegistration, Invocation
+from repro.queueing import (
+    AIMDConfig,
+    ConcurrencyRegulator,
+    EEDFPolicy,
+    FCFSPolicy,
+    LoadTracker,
+    NoBypass,
+    RAREPolicy,
+    ShortFunctionBypass,
+    SJFPolicy,
+    make_queue_policy,
+)
+from repro.sim import Environment
+
+
+def inv(name="f", arrival=0.0, warm=0.1, cold=0.5):
+    reg = FunctionRegistration(name=name, warm_time=warm, cold_time=cold)
+    return Invocation(function=reg, arrival=arrival)
+
+
+def chars_with(fqdn, warm=None, cold=None, iats=()):
+    m = CharacteristicsMap()
+    if warm is not None:
+        m.record_execution(fqdn, warm, cold=False)
+    if cold is not None:
+        m.record_execution(fqdn, cold, cold=True)
+    t = 0.0
+    m_stats = m.get(fqdn)
+    for gap in iats:
+        m_stats.record_arrival(t)
+        t += gap
+    return m
+
+
+# ---------------------------------------------------------------- policies
+def test_fcfs_orders_by_arrival():
+    p = FCFSPolicy(CharacteristicsMap())
+    assert p.priority(inv(arrival=1.0), True) < p.priority(inv(arrival=2.0), True)
+
+
+def test_sjf_orders_by_expected_time():
+    m = CharacteristicsMap()
+    m.record_execution("short.1", 0.1, cold=False)
+    m.record_execution("long.1", 5.0, cold=False)
+    p = SJFPolicy(m)
+    assert p.priority(inv("short"), True) < p.priority(inv("long"), True)
+
+
+def test_sjf_uses_cold_time_without_warm_container():
+    m = CharacteristicsMap()
+    m.record_execution("f.1", 0.1, cold=False)
+    m.record_execution("f.1", 2.0, cold=True)
+    p = SJFPolicy(m)
+    assert p.priority(inv("f"), warm_available=False) == pytest.approx(2.0)
+    assert p.priority(inv("f"), warm_available=True) == pytest.approx(0.1)
+
+
+def test_unseen_function_gets_zero_priority():
+    p = SJFPolicy(CharacteristicsMap())
+    assert p.priority(inv("new"), True) == 0.0
+
+
+def test_eedf_is_arrival_plus_exec():
+    m = CharacteristicsMap()
+    m.record_execution("f.1", 1.0, cold=False)
+    p = EEDFPolicy(m)
+    assert p.priority(inv("f", arrival=10.0), True) == pytest.approx(11.0)
+
+
+def test_rare_prioritizes_high_iat():
+    m = CharacteristicsMap()
+    a = m.get("common.1")
+    for t in [0.0, 1.0, 2.0]:
+        a.record_arrival(t)
+    b = m.get("rare.1")
+    for t in [0.0, 100.0]:
+        b.record_arrival(t)
+    p = RAREPolicy(m)
+    assert p.priority(inv("rare"), True) < p.priority(inv("common"), True)
+
+
+def test_make_queue_policy_factory():
+    m = CharacteristicsMap()
+    assert isinstance(make_queue_policy("fcfs", m), FCFSPolicy)
+    assert isinstance(make_queue_policy("FIFO", m), FCFSPolicy)
+    assert isinstance(make_queue_policy("eedf", m), EEDFPolicy)
+    with pytest.raises(ValueError):
+        make_queue_policy("lifo", m)
+
+
+# ------------------------------------------------------------------ bypass
+def test_no_bypass_never():
+    assert not NoBypass().should_bypass(inv(), True)
+
+
+def test_short_function_bypass_criteria():
+    m = CharacteristicsMap()
+    m.record_execution("f.1", 0.05, cold=False)
+    load = LoadTracker(cores=10)
+    bp = ShortFunctionBypass(m, load, duration_threshold=0.1, load_limit=0.9)
+    assert bp.should_bypass(inv("f"), warm_available=True)
+
+
+def test_bypass_rejects_long_function():
+    m = CharacteristicsMap()
+    m.record_execution("f.1", 1.0, cold=False)
+    load = LoadTracker(cores=10)
+    bp = ShortFunctionBypass(m, load, duration_threshold=0.1)
+    assert not bp.should_bypass(inv("f"), True)
+
+
+def test_bypass_rejects_under_high_load():
+    m = CharacteristicsMap()
+    m.record_execution("f.1", 0.05, cold=False)
+    load = LoadTracker(cores=10)
+    load.loadavg = 9.5  # normalized 0.95 > 0.9
+    bp = ShortFunctionBypass(m, load, duration_threshold=0.1, load_limit=0.9)
+    assert not bp.should_bypass(inv("f"), True)
+
+
+def test_bypass_rejects_without_execution_history():
+    m = CharacteristicsMap()
+    m.record_arrival("f.1", 0.0)  # arrival but no execution
+    load = LoadTracker(cores=10)
+    bp = ShortFunctionBypass(m, load)
+    assert not bp.should_bypass(inv("f"), True)
+
+
+def test_bypass_validation():
+    m = CharacteristicsMap()
+    load = LoadTracker(cores=10)
+    with pytest.raises(ValueError):
+        ShortFunctionBypass(m, load, duration_threshold=-1.0)
+    with pytest.raises(ValueError):
+        ShortFunctionBypass(m, load, load_limit=0.0)
+
+
+# ------------------------------------------------------------ load tracker
+def test_load_tracker_counts_running():
+    lt = LoadTracker(cores=4)
+    lt.on_start()
+    lt.on_start()
+    assert lt.running == 2
+    lt.on_finish()
+    assert lt.running == 1
+    with pytest.raises(RuntimeError):
+        lt.on_finish()
+        lt.on_finish()
+
+
+def test_load_tracker_ema_converges():
+    lt = LoadTracker(cores=4, interval=5.0, horizon=60.0)
+    for _ in range(4):
+        lt.on_start()
+    for _ in range(200):
+        lt.sample()
+    assert lt.loadavg == pytest.approx(4.0, rel=0.01)
+    assert lt.normalized == pytest.approx(1.0, rel=0.01)
+
+
+def test_load_tracker_validation():
+    with pytest.raises(ValueError):
+        LoadTracker(cores=0)
+    with pytest.raises(ValueError):
+        LoadTracker(cores=1, interval=0.0)
+
+
+# --------------------------------------------------------------- regulator
+def test_regulator_fixed_limit():
+    env = Environment()
+    reg = ConcurrencyRegulator(env, limit=3)
+    assert reg.limit == 3
+    assert reg.in_flight == 0
+    with pytest.raises(ValueError):
+        ConcurrencyRegulator(env, limit=0)
+
+
+def test_aimd_config_validation():
+    with pytest.raises(ValueError):
+        AIMDConfig(min_limit=0)
+    with pytest.raises(ValueError):
+        AIMDConfig(multiplicative_decrease=1.0)
+    with pytest.raises(ValueError):
+        AIMDConfig(min_limit=10, max_limit=5)
+
+
+def test_aimd_additive_increase_when_idle():
+    env = Environment()
+    load = LoadTracker(cores=4)
+    cfg = AIMDConfig(adjust_interval=1.0, max_limit=10)
+    reg = ConcurrencyRegulator(env, limit=2, load=load, aimd=cfg)
+    env.process(reg.controller())
+    env.run(until=5.5)
+    reg.stop()
+    assert reg.limit == 7  # +1 per interval, 5 intervals
+
+
+def test_aimd_multiplicative_decrease_under_congestion():
+    env = Environment()
+    load = LoadTracker(cores=4)
+    load.loadavg = 8.0  # normalized 2.0 > threshold 1.0
+    cfg = AIMDConfig(adjust_interval=1.0, multiplicative_decrease=0.5)
+    reg = ConcurrencyRegulator(env, limit=16, load=load, aimd=cfg)
+    env.process(reg.controller())
+    env.run(until=2.5)
+    reg.stop()
+    assert reg.limit == 4  # 16 -> 8 -> 4
+
+
+def test_aimd_respects_min_limit():
+    env = Environment()
+    load = LoadTracker(cores=4)
+    load.loadavg = 100.0
+    cfg = AIMDConfig(adjust_interval=1.0, min_limit=2)
+    reg = ConcurrencyRegulator(env, limit=4, load=load, aimd=cfg)
+    env.process(reg.controller())
+    env.run(until=10.0)
+    reg.stop()
+    assert reg.limit == 2
+
+
+def test_controller_requires_config():
+    env = Environment()
+    reg = ConcurrencyRegulator(env, limit=4)
+    with pytest.raises(RuntimeError):
+        next(reg.controller())
+
+
+def test_limit_history_recorded():
+    env = Environment()
+    load = LoadTracker(cores=4)
+    cfg = AIMDConfig(adjust_interval=1.0)
+    reg = ConcurrencyRegulator(env, limit=1, load=load, aimd=cfg)
+    env.process(reg.controller())
+    env.run(until=3.5)
+    reg.stop()
+    assert len(reg.limit_history) == 4  # initial + 3 increases

@@ -1,0 +1,358 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_initial_time():
+    env = Environment(initial_time=42.0)
+    assert env.now == 42.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    assert env.run_process(proc()) == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_zero_delay_fires_at_same_time():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.timeout(0.0)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [0.0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        return value
+
+    assert env.run_process(proc()) == "payload"
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(delay, label):
+        yield env.timeout(delay)
+        order.append(label)
+
+    env.process(waiter(3.0, "c"))
+    env.process(waiter(1.0, "a"))
+    env.process(waiter(2.0, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def waiter(label):
+        yield env.timeout(1.0)
+        order.append(label)
+
+    for label in "abcde":
+        env.process(waiter(label))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_run_until_stops_clock_at_limit():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100.0)
+
+    env.process(proc())
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    evt = env.event()
+    results = []
+
+    def waiter():
+        value = yield evt
+        results.append(value)
+
+    def trigger():
+        yield env.timeout(2.0)
+        evt.succeed("done")
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert results == ["done"]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_propagates_to_waiter():
+    env = Environment()
+    evt = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield evt
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield env.timeout(1.0)
+        evt.fail(RuntimeError("boom"))
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    evt = env.event()
+    with pytest.raises(TypeError):
+        evt.fail("not an exception")
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return 99
+
+    def parent():
+        value = yield env.process(child())
+        return value
+
+    assert env.run_process(parent()) == 99
+
+
+def test_waiting_on_already_finished_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return "early"
+
+    def parent(proc):
+        yield env.timeout(10.0)
+        value = yield proc
+        return value, env.now
+
+    child_proc = env.process(child())
+    assert env.run_process(parent(child_proc)) == ("early", 10.0)
+
+
+def test_uncaught_process_exception_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("broken process")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="broken process"):
+        env.run()
+
+
+def test_waited_on_process_failure_delivered_to_parent():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent():
+        try:
+            yield env.process(bad())
+        except ValueError:
+            return "handled"
+
+    assert env.run_process(parent()) == "handled"
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    result = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            result.append((env.now, exc.cause))
+
+    def interrupter(target):
+        yield env.timeout(3.0)
+        target.interrupt(cause="wake up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert result == [(3.0, "wake up")]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        results = yield env.all_of([t1, t2])
+        return env.now, sorted(results.values())
+
+    assert env.run_process(proc()) == (5.0, ["a", "b"])
+
+
+def test_any_of_returns_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        results = yield env.any_of([t1, t2])
+        return env.now, list(results.values())
+
+    assert env.run_process(proc()) == (1.0, ["fast"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc():
+        yield env.all_of([])
+        return env.now
+
+    assert env.run_process(proc()) == 0.0
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_step_on_empty_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_process_unfinished_raises():
+    env = Environment()
+
+    def forever():
+        yield env.timeout(1000.0)
+
+    with pytest.raises(SimulationError):
+        env.run_process(forever(), until=1.0)
+
+
+def test_nested_processes_three_deep():
+    env = Environment()
+
+    def leaf():
+        yield env.timeout(2.0)
+        return 1
+
+    def middle():
+        value = yield env.process(leaf())
+        yield env.timeout(3.0)
+        return value + 1
+
+    def root():
+        value = yield env.process(middle())
+        return value + 1
+
+    assert env.run_process(root()) == 3
+    assert env.now == 5.0
+
+
+def test_many_processes_scale():
+    env = Environment()
+    done = []
+
+    def worker(i):
+        yield env.timeout(float(i % 17))
+        done.append(i)
+
+    for i in range(1000):
+        env.process(worker(i))
+    env.run()
+    assert len(done) == 1000
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]

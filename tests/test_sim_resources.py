@@ -1,0 +1,369 @@
+"""Unit tests for repro.sim.resources."""
+
+import pytest
+
+from repro.sim import Environment, Gauge, PriorityStore, Resource, SimulationError, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    held = []
+
+    def user(i):
+        req = res.request()
+        yield req
+        held.append((env.now, i))
+        yield env.timeout(10.0)
+        res.release(req)
+
+    for i in range(4):
+        env.process(user(i))
+    env.run()
+    # First two granted at t=0, next two at t=10.
+    assert [t for t, _ in held] == [0.0, 0.0, 10.0, 10.0]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(i):
+        req = res.request()
+        yield req
+        order.append(i)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for i in range(5):
+        env.process(user(i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_unknown_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    other = Resource(env, capacity=1)
+    req = other.request()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    def canceller():
+        yield env.timeout(1.0)
+        req = res.request()  # queued behind holder
+        res.release(req)  # cancel before grant
+        assert res.queue_length == 0
+
+    env.process(holder())
+    env.process(canceller())
+    env.run()
+
+
+def test_resource_grow_capacity_unblocks_waiters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grants = []
+
+    def user(i):
+        req = res.request()
+        yield req
+        grants.append((env.now, i))
+        yield env.timeout(100.0)
+        res.release(req)
+
+    def grower():
+        yield env.timeout(2.0)
+        res.set_capacity(3)
+
+    for i in range(3):
+        env.process(user(i))
+    env.process(grower())
+    env.run()
+    assert grants == [(0.0, 0), (2.0, 1), (2.0, 2)]
+
+
+def test_resource_count_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    def observer():
+        yield env.timeout(1.0)
+        res.request()
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    env.process(holder())
+    env.process(observer())
+    env.run()
+
+
+# ---------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer():
+        yield env.timeout(4.0)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [(4.0, "x")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    puts = []
+
+    def producer():
+        yield store.put("a")
+        puts.append(env.now)
+        yield store.put("b")
+        puts.append(env.now)
+
+    def consumer():
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert puts == [0.0, 5.0]
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    store.put("v")
+    env.run()
+    ok, item = store.try_get()
+    assert ok and item == "v"
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+# ---------------------------------------------------------------- PriorityStore
+def test_priority_store_orders_by_key():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def run():
+        yield store.put("low", priority=10)
+        yield store.put("high", priority=1)
+        yield store.put("mid", priority=5)
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(run())
+    env.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_priority_store_fifo_within_priority():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def run():
+        for label in ["a", "b", "c"]:
+            yield store.put(label, priority=1)
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    env.process(run())
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_priority_store_remove_predicate():
+    env = Environment()
+    store = PriorityStore(env)
+
+    def run():
+        for i in range(6):
+            yield store.put(i, priority=i)
+
+    env.process(run())
+    env.run()
+    removed = store.remove(lambda x: x % 2 == 0)
+    assert sorted(removed) == [0, 2, 4]
+    assert store.items == [1, 3, 5]
+
+
+def test_priority_store_len_and_items_sorted():
+    env = Environment()
+    store = PriorityStore(env)
+
+    def run():
+        yield store.put("z", priority=3)
+        yield store.put("a", priority=1)
+
+    env.process(run())
+    env.run()
+    assert len(store) == 2
+    assert store.items == ["a", "z"]
+
+
+# ---------------------------------------------------------------- Gauge
+def test_gauge_take_give_levels():
+    env = Environment()
+    g = Gauge(env, capacity=100.0)
+    assert g.level == 100.0
+    assert g.try_take(30.0)
+    assert g.level == 70.0
+    assert g.in_use == 30.0
+    g.give(10.0)
+    assert g.level == 80.0
+
+
+def test_gauge_give_clamps_at_capacity():
+    env = Environment()
+    g = Gauge(env, capacity=50.0)
+    g.give(1000.0)
+    assert g.level == 50.0
+
+
+def test_gauge_take_blocks_until_available():
+    env = Environment()
+    g = Gauge(env, capacity=10.0)
+    times = []
+
+    def taker():
+        assert g.try_take(10.0)
+        yield env.timeout(3.0)
+        g.give(10.0)
+
+    def waiter():
+        yield g.take(5.0)
+        times.append(env.now)
+
+    env.process(taker())
+    env.process(waiter())
+    env.run()
+    assert times == [3.0]
+
+
+def test_gauge_fifo_no_small_request_overtake():
+    env = Environment()
+    g = Gauge(env, capacity=10.0)
+    order = []
+
+    def setup():
+        assert g.try_take(8.0)
+        yield env.timeout(1.0)
+        g.give(8.0)
+
+    def big():
+        yield g.take(9.0)
+        order.append("big")
+        g.give(9.0)
+
+    def small():
+        yield env.timeout(0.5)  # arrives after big is queued
+        yield g.take(1.0)
+        order.append("small")
+
+    env.process(setup())
+    env.process(big())
+    env.process(small())
+    env.run()
+    assert order == ["big", "small"]
+
+
+def test_gauge_take_exceeding_capacity_raises():
+    env = Environment()
+    g = Gauge(env, capacity=10.0)
+    with pytest.raises(ValueError):
+        g.take(11.0)
+
+
+def test_gauge_shrink_capacity_blocks_new_takes():
+    env = Environment()
+    g = Gauge(env, capacity=100.0)
+    assert g.try_take(90.0)
+    g.set_capacity(50.0)
+    assert g.level == pytest.approx(-40.0)
+    assert not g.try_take(1.0)
+    g.give(45.0)
+    assert g.try_take(5.0)
+
+
+def test_gauge_initial_level():
+    env = Environment()
+    g = Gauge(env, capacity=100.0, initial=20.0)
+    assert g.level == 20.0
+    with pytest.raises(ValueError):
+        Gauge(env, capacity=10.0, initial=20.0)
+
+
+def test_gauge_negative_amounts_rejected():
+    env = Environment()
+    g = Gauge(env, capacity=10.0)
+    with pytest.raises(ValueError):
+        g.try_take(-1.0)
+    with pytest.raises(ValueError):
+        g.give(-1.0)
+    with pytest.raises(ValueError):
+        g.take(-1.0)

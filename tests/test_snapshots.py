@@ -1,0 +1,118 @@
+"""Tests for snapshot-accelerated cold starts."""
+
+import pytest
+
+from repro import Environment, FunctionRegistration, Worker, WorkerConfig
+from repro.containers.snapshots import Snapshot, SnapshotPolicy, SnapshotStore
+
+
+REG = FunctionRegistration(name="f", memory_mb=512.0, warm_time=0.2,
+                           cold_time=3.0)
+
+
+# ------------------------------------------------------------------- store
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SnapshotPolicy(restore_base=-1.0)
+    with pytest.raises(ValueError):
+        SnapshotPolicy(init_coverage=1.5)
+
+
+def test_policy_latencies_scale_with_memory():
+    p = SnapshotPolicy(restore_base=0.05, restore_s_per_gb=0.2)
+    assert p.restore_latency(1024.0) == pytest.approx(0.25)
+    assert p.restore_latency(0.0) == pytest.approx(0.05)
+    assert p.capture_latency(1024.0) > p.capture_latency(128.0)
+
+
+def test_store_capture_and_restore_plan():
+    store = SnapshotStore()
+    assert store.restore_plan(REG) is None
+    store.capture(REG, now=1.0)
+    assert store.has("f.1")
+    plan = store.restore_plan(REG)
+    assert plan is not None
+    restore_latency, remaining_init = plan
+    assert restore_latency > 0
+    assert remaining_init == pytest.approx(0.0)  # full coverage default
+    assert store.restores == 1
+
+
+def test_store_partial_coverage():
+    store = SnapshotStore(SnapshotPolicy(init_coverage=0.5))
+    store.capture(REG, now=0.0)
+    _lat, remaining = store.restore_plan(REG)
+    assert remaining == pytest.approx(REG.init_time * 0.5)
+
+
+def test_store_disabled_is_inert():
+    store = SnapshotStore(enabled=False)
+    assert store.capture(REG, now=0.0) == 0.0
+    assert not store.has("f.1")
+    assert store.restore_plan(REG) is None
+
+
+def test_store_capture_idempotent_and_invalidate():
+    store = SnapshotStore()
+    store.capture(REG, now=0.0)
+    store.capture(REG, now=5.0)
+    assert store.captures == 1
+    store.invalidate("f.1")
+    assert not store.has("f.1")
+
+
+# ------------------------------------------------------------------ worker
+def _worker(snapshots: bool):
+    env = Environment()
+    worker = Worker(
+        env,
+        WorkerConfig(
+            backend="containerd",
+            cores=4,
+            memory_mb=4096.0,
+            snapshots_enabled=snapshots,
+            # Tiny keep-alive so repeat invocations cold-start again.
+            keepalive_policy="TTL",
+            bypass_enabled=False,
+        ),
+    )
+    worker.start()
+    worker.register_sync(REG)
+    return env, worker
+
+
+def _cold_roundtrip(env, worker):
+    inv = env.run_process(worker.invoke("f.1"))
+    assert inv.cold
+    # Evict the warm container so the next invocation is cold again.
+    worker.pool.evict_for(10_000.0)
+    env.run(until=env.now + 10.0)  # capture + destroy settle
+    return inv
+
+
+def test_snapshot_speeds_up_repeat_cold_starts():
+    env, worker = _worker(snapshots=True)
+    first = _cold_roundtrip(env, worker)
+    second = _cold_roundtrip(env, worker)
+    assert worker.snapshots.has("f.1")
+    assert worker.metrics.count("containers.restored") >= 1
+    # Restore skips the container build and the function initialization.
+    assert second.e2e_time < first.e2e_time / 2
+    assert second.cold  # still accounted as a cold start
+
+
+def test_snapshots_disabled_no_speedup():
+    env, worker = _worker(snapshots=False)
+    first = _cold_roundtrip(env, worker)
+    second = _cold_roundtrip(env, worker)
+    assert worker.metrics.count("containers.restored") == 0
+    assert second.e2e_time > first.e2e_time / 2
+
+
+def test_capture_happens_off_critical_path():
+    env, worker = _worker(snapshots=True)
+    inv = env.run_process(worker.invoke("f.1"))
+    # The first cold invocation completes before the capture lands.
+    assert not worker.snapshots.has("f.1") or inv.completed_at is not None
+    env.run(until=env.now + 10.0)
+    assert worker.snapshots.has("f.1")

@@ -1,0 +1,161 @@
+"""Unit tests for the Azure-like dataset generator, replay, and samplers."""
+
+import numpy as np
+import pytest
+
+from repro.trace.azure import AzureTraceConfig, generate_dataset
+from repro.trace.replay import expand_dataset, expand_minute_bucket
+from repro.trace.sampling import (
+    sample_random,
+    sample_rare,
+    sample_representative,
+    standard_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(
+        AzureTraceConfig(num_functions=800, duration_minutes=240, seed=123)
+    )
+
+
+# ----------------------------------------------------------------- config
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AzureTraceConfig(num_functions=0)
+    with pytest.raises(ValueError):
+        AzureTraceConfig(duration_minutes=0)
+    with pytest.raises(ValueError):
+        AzureTraceConfig(diurnal_amplitude=1.5)
+
+
+# --------------------------------------------------------------- generator
+def test_generator_deterministic(dataset):
+    again = generate_dataset(
+        AzureTraceConfig(num_functions=800, duration_minutes=240, seed=123)
+    )
+    assert dataset.total_invocations() == again.total_invocations()
+    assert np.allclose(dataset.memory_mb, again.memory_mb)
+
+
+def test_generator_seed_changes_output(dataset):
+    other = generate_dataset(
+        AzureTraceConfig(num_functions=800, duration_minutes=240, seed=124)
+    )
+    assert dataset.total_invocations() != other.total_invocations()
+
+
+def test_all_kept_functions_reusable(dataset):
+    # The paper drops functions with fewer than two invocations.
+    for fn, (_minutes, counts) in dataset.counts.items():
+        assert counts.sum() >= 2
+
+
+def test_minute_indices_in_range(dataset):
+    for _fn, (minutes, counts) in dataset.counts.items():
+        assert minutes.min() >= 0
+        assert minutes.max() < dataset.config.duration_minutes
+        assert np.all(counts >= 1)
+
+
+def test_memory_split_even_within_app(dataset):
+    # All functions of one app share the same per-function allocation.
+    by_app = {}
+    for i, app in enumerate(dataset.apps):
+        by_app.setdefault(app, []).append(dataset.memory_mb[i])
+    multi = [v for v in by_app.values() if len(v) > 1]
+    assert multi, "generator should produce multi-function apps"
+    for values in multi:
+        assert np.allclose(values, values[0])
+
+
+def test_heavy_tail_popularity(dataset):
+    counts = dataset.invocations_per_function()
+    counts = np.sort(counts[counts > 0])[::-1]
+    top_10pct = counts[: max(1, counts.size // 10)].sum()
+    assert top_10pct / counts.sum() > 0.5  # strong skew
+
+
+def test_init_cost_nonnegative(dataset):
+    assert np.all(dataset.init_cost() >= 0)
+    assert np.all(dataset.max_runtime >= dataset.avg_runtime)
+
+
+# ------------------------------------------------------------------ replay
+def test_expand_single_invocation_at_minute_start():
+    assert expand_minute_bucket(3, 1).tolist() == [180.0]
+
+
+def test_expand_multiple_equally_spaced():
+    ts = expand_minute_bucket(0, 4)
+    assert ts.tolist() == [0.0, 15.0, 30.0, 45.0]
+
+
+def test_expand_validation():
+    with pytest.raises(ValueError):
+        expand_minute_bucket(0, 0)
+    with pytest.raises(ValueError):
+        expand_minute_bucket(-1, 1)
+
+
+def test_expand_dataset_conserves_counts(dataset):
+    trace = expand_dataset(dataset)
+    assert len(trace) == dataset.total_invocations()
+    assert np.all(np.diff(trace.timestamps) >= 0)
+    assert trace.duration == dataset.duration_seconds
+
+
+def test_expand_dataset_subset(dataset):
+    some = sorted(dataset.counts)[:5]
+    trace = expand_dataset(dataset, some)
+    assert trace.num_functions == 5
+    assert len(trace) == sum(dataset.total_invocations(f) for f in some)
+
+
+def test_expand_dataset_bad_index(dataset):
+    with pytest.raises(ValueError):
+        expand_dataset(dataset, [10**6])
+
+
+# ---------------------------------------------------------------- samplers
+def test_rare_sample_picks_infrequent(dataset):
+    rare = sample_rare(dataset, n=100)
+    all_counts = dataset.invocations_per_function()
+    eligible = np.array(sorted(dataset.counts))
+    median_count = np.median(all_counts[eligible])
+    rare_mean = len(rare) / rare.num_functions
+    # Rare functions should be invoked well below the population median.
+    assert rare_mean <= median_count
+
+
+def test_rare_sample_size(dataset):
+    assert sample_rare(dataset, n=50).num_functions == 50
+
+
+def test_representative_spans_quartiles(dataset):
+    rep = sample_representative(dataset, n=80)
+    assert rep.num_functions == 80
+    counts = rep.invocation_counts()
+    # Should include both light and heavy functions.
+    assert counts.min() <= np.percentile(counts, 25)
+    assert counts.max() >= 10 * max(counts.min(), 1)
+
+
+def test_random_sample_size_and_determinism(dataset):
+    a = sample_random(dataset, n=40, seed=9)
+    b = sample_random(dataset, n=40, seed=9)
+    assert a.num_functions == 40
+    assert len(a) == len(b)
+    assert {f.name for f in a.functions} == {f.name for f in b.functions}
+
+
+def test_standard_samples_keys(dataset):
+    samples = standard_samples(dataset, rare_n=50, representative_n=40, random_n=20)
+    assert set(samples) == {"representative", "rare", "random"}
+    assert samples["rare"].name == "rare"
+
+
+def test_sample_n_larger_than_population(dataset):
+    huge = sample_random(dataset, n=10**6)
+    assert huge.num_functions == len(dataset.counts)

@@ -1,0 +1,134 @@
+"""Unit tests for the trace data model (repro.trace.model)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.model import Trace, TraceFunction
+
+
+def F(name="f", mem=100.0, warm=1.0, cold=2.0, app=""):
+    return TraceFunction(name=name, memory_mb=mem, warm_time=warm,
+                         cold_time=cold, app=app)
+
+
+def make_trace(ts, idx, functions, duration=None, name="t"):
+    return Trace(functions, np.asarray(ts, dtype=float),
+                 np.asarray(idx, dtype=np.int64), duration=duration, name=name)
+
+
+def test_trace_function_validation():
+    with pytest.raises(ValueError):
+        F(mem=0.0)
+    with pytest.raises(ValueError):
+        F(warm=-1.0)
+    with pytest.raises(ValueError):
+        F(warm=2.0, cold=1.0)
+
+
+def test_trace_function_init_cost():
+    assert F(warm=1.0, cold=3.5).init_cost == pytest.approx(2.5)
+
+
+def test_trace_basic_stats():
+    tr = make_trace([0.0, 1.0, 2.0, 3.0], [0, 0, 0, 0], [F()], duration=4.0)
+    assert len(tr) == 4
+    assert tr.requests_per_second == pytest.approx(1.0)
+    assert tr.avg_iat == pytest.approx(1.0)
+
+
+def test_trace_sorts_unsorted_input():
+    tr = make_trace([3.0, 1.0, 2.0], [0, 1, 0], [F("a"), F("b")])
+    assert np.all(np.diff(tr.timestamps) >= 0)
+    # Function alignment preserved through the sort.
+    assert tr.functions[tr.function_idx[0]].name == "b"
+
+
+def test_trace_rejects_mismatched_arrays():
+    with pytest.raises(ValueError):
+        make_trace([0.0, 1.0], [0], [F()])
+
+
+def test_trace_rejects_out_of_range_index():
+    with pytest.raises(ValueError):
+        make_trace([0.0], [5], [F()])
+
+
+def test_trace_rejects_negative_timestamps():
+    with pytest.raises(ValueError):
+        make_trace([-1.0], [0], [F()])
+
+
+def test_trace_rejects_short_duration():
+    with pytest.raises(ValueError):
+        make_trace([10.0], [0], [F()], duration=5.0)
+
+
+def test_invocation_counts():
+    tr = make_trace([0.0, 1.0, 2.0], [0, 1, 0], [F("a"), F("b")])
+    assert tr.invocation_counts().tolist() == [2, 1]
+
+
+def test_stats_row_shape():
+    tr = make_trace([0.0, 1.0], [0, 0], [F()], duration=2.0, name="rep")
+    row = tr.stats_row()
+    assert row["trace"] == "rep"
+    assert row["num_invocations"] == 2
+    assert row["avg_iat_ms"] == pytest.approx(1000.0)
+
+
+def test_subset_renumbers():
+    tr = make_trace([0.0, 1.0, 2.0], [0, 1, 2], [F("a"), F("b"), F("c")])
+    sub = tr.subset([2, 0])
+    assert [f.name for f in sub.functions] == ["a", "c"]
+    assert len(sub) == 2
+    assert sub.functions[sub.function_idx[1]].name == "c"
+
+
+def test_subset_out_of_range():
+    tr = make_trace([0.0], [0], [F()])
+    with pytest.raises(ValueError):
+        tr.subset([3])
+
+
+def test_clipped_keeps_prefix():
+    tr = make_trace([0.0, 5.0, 15.0], [0, 1, 1], [F("a"), F("b")], duration=20.0)
+    clipped = tr.clipped(10.0)
+    assert len(clipped) == 2
+    assert clipped.duration == 10.0
+    # Function table restricted to those actually appearing.
+    assert {f.name for f in clipped.functions} == {"a", "b"}
+
+
+def test_clipped_validation():
+    tr = make_trace([0.0], [0], [F()])
+    with pytest.raises(ValueError):
+        tr.clipped(0.0)
+
+
+def test_merge_layers_traces():
+    t1 = make_trace([0.0, 2.0], [0, 0], [F("a")], duration=10.0)
+    t2 = make_trace([1.0], [0], [F("b")], duration=5.0)
+    merged = Trace.merge([t1, t2])
+    assert len(merged) == 3
+    assert merged.duration == 10.0
+    assert np.all(np.diff(merged.timestamps) >= 0)
+    assert merged.num_functions == 2
+
+
+def test_merge_disambiguates_names():
+    t1 = make_trace([0.0], [0], [F("same")])
+    t2 = make_trace([1.0], [0], [F("same")])
+    merged = Trace.merge([t1, t2])
+    names = [f.name for f in merged.functions]
+    assert len(set(names)) == 2
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(ValueError):
+        Trace.merge([])
+
+
+def test_empty_trace_stats_nan():
+    tr = make_trace([], [], [F()], duration=10.0)
+    assert np.isnan(tr.avg_iat)
+    assert len(tr) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for trace scaling (Little's law) and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import (
+    iat_percentiles,
+    invocations_per_second,
+    popularity_skew,
+    trace_table,
+)
+from repro.trace.model import Trace, TraceFunction
+from repro.trace.scaling import (
+    expected_concurrency,
+    little_load,
+    scale_to_load,
+    scale_trace_iats,
+)
+
+
+def F(name="f", warm=1.0):
+    return TraceFunction(name=name, memory_mb=100.0, warm_time=warm,
+                         cold_time=warm + 1.0)
+
+
+def make_trace(ts, idx, functions, duration):
+    return Trace(functions, np.asarray(ts, dtype=float),
+                 np.asarray(idx, dtype=np.int64), duration=duration)
+
+
+def test_expected_concurrency_littles_law():
+    # 10 invocations over 10 s of a 2 s function: lambda=1, W=2 -> L=2.
+    ts = np.arange(10, dtype=float)
+    tr = make_trace(ts, [0] * 10, [F(warm=2.0)], duration=10.0)
+    conc = expected_concurrency(tr)
+    assert conc[0] == pytest.approx(2.0)
+    assert little_load(tr) == pytest.approx(2.0)
+
+
+def test_scale_iats_compresses_arrivals():
+    ts = [0.0, 10.0, 20.0]
+    tr = make_trace(ts, [0, 0, 0], [F()], duration=100.0)
+    halved = scale_trace_iats(tr, 0.5)
+    assert halved.timestamps.tolist() == [0.0, 5.0, 10.0]
+
+
+def test_scale_iats_anchored_at_first_arrival():
+    tr = make_trace([50.0, 60.0], [0, 0], [F()], duration=100.0)
+    scaled = scale_trace_iats(tr, 2.0)
+    assert scaled.timestamps.tolist() == [50.0, 70.0]
+
+
+def test_scale_iats_drops_overflow():
+    tr = make_trace([0.0, 50.0], [0, 0], [F()], duration=60.0)
+    stretched = scale_trace_iats(tr, 2.0)
+    assert len(stretched) == 1  # second arrival pushed past duration
+
+
+def test_scale_iats_per_function():
+    tr = make_trace([0.0, 10.0, 0.0, 10.0], [0, 0, 1, 1],
+                    [F("a"), F("b")], duration=100.0)
+    scaled = scale_trace_iats(tr, 1.0, per_function=[0.5, 2.0])
+    a_ts = scaled.timestamps[scaled.function_idx == 0]
+    b_ts = scaled.timestamps[scaled.function_idx == 1]
+    assert a_ts.tolist() == [0.0, 5.0]
+    assert b_ts.tolist() == [0.0, 20.0]
+
+
+def test_scale_iats_validation():
+    tr = make_trace([0.0], [0], [F()], duration=10.0)
+    with pytest.raises(ValueError):
+        scale_trace_iats(tr, 0.0)
+    with pytest.raises(ValueError):
+        scale_trace_iats(tr, 1.0, per_function=[1.0, 2.0])
+
+
+def test_scale_to_load_hits_target():
+    ts = np.arange(0, 100, 1.0)
+    tr = make_trace(ts, [0] * 100, [F(warm=2.0)], duration=100.0)
+    # Current load 2.0; halve it.
+    scaled = scale_to_load(tr, 1.0)
+    assert little_load(scaled) == pytest.approx(1.0, rel=0.1)
+
+
+def test_scale_to_load_validation():
+    tr = make_trace([], [], [F()], duration=10.0)
+    with pytest.raises(ValueError):
+        scale_to_load(tr, 0.0)
+    with pytest.raises(ValueError):
+        scale_to_load(tr, 1.0)  # zero-load trace
+
+
+def test_invocations_per_second_bins():
+    tr = make_trace([0.1, 0.2, 5.5], [0, 0, 0], [F()], duration=10.0)
+    series = invocations_per_second(tr)
+    assert series[0] == 2
+    assert series[5] == 1
+    assert series.sum() == 3
+
+
+def test_popularity_skew_extremes():
+    # One function with everything -> skew 1.0 at any fraction.
+    tr = make_trace([0.0, 1.0, 2.0], [0, 0, 0], [F("hot"), F("cold")],
+                    duration=10.0)
+    assert popularity_skew(tr, top_fraction=0.5) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        popularity_skew(tr, top_fraction=0.0)
+
+
+def test_iat_percentiles():
+    ts = [0.0, 10.0, 20.0, 0.0, 100.0]
+    tr = make_trace(ts, [0, 0, 0, 1, 1], [F("a"), F("b")], duration=200.0)
+    pct = iat_percentiles(tr, qs=(50.0,))
+    # Mean IATs: a=10, b=100 -> median 55.
+    assert pct[50.0] == pytest.approx(55.0)
+
+
+def test_trace_table_rows():
+    tr = make_trace([0.0, 1.0], [0, 0], [F()], duration=2.0)
+    rows = trace_table([tr])
+    assert rows[0]["num_invocations"] == 2
