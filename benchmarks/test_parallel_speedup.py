@@ -1,0 +1,80 @@
+"""Serial-vs-parallel wall clock for the Fig-4/5 keep-alive sweep.
+
+This is the perf-trajectory benchmark for the parallel execution engine:
+it times the same sweep at ``n_jobs=1`` and ``n_jobs=min(4, cores)``,
+asserts the results are bit-identical, and records both timings in
+``BENCH_parallel.json`` at the repo root so every future PR can be
+compared against this one.
+
+The >=2x speedup assertion only arms on machines with >= 4 cores —
+on smaller runners the numbers are still recorded, just not enforced.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import SMALL, make_traces, run_keepalive_sweep
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+MIN_SPEEDUP = 2.0  # acceptance bar on a >=4-core runner
+
+
+def _time_sweep(sc, traces, n_jobs):
+    t0 = time.perf_counter()
+    results = run_keepalive_sweep(sc, traces=traces, n_jobs=n_jobs)
+    return time.perf_counter() - t0, results
+
+
+def _measure(scale, shared_traces, jobs):
+    entries = {"small": (SMALL, make_traces(SMALL))}
+    if scale.name != "small":
+        entries[scale.name] = (scale, shared_traces)
+    record = {
+        "benchmark": "keepalive sweep (figs 4/5), serial vs parallel",
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "scales": {},
+    }
+    for name, (sc, traces) in entries.items():
+        serial_s, serial_results = _time_sweep(sc, traces, 1)
+        parallel_s, parallel_results = _time_sweep(sc, traces, jobs)
+        assert serial_results == parallel_results, (
+            f"parallel sweep diverged from serial at scale {name}"
+        )
+        record["scales"][name] = {
+            "cells": len(serial_results),
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s > 0 else None,
+        }
+    return record
+
+
+def test_parallel_sweep_speedup(benchmark, scale, shared_traces, artifact):
+    # At least 2 workers so the pool path is genuinely measured even on a
+    # single-core runner (the speedup bar only arms at >= 4 cores).
+    jobs = max(2, min(4, os.cpu_count() or 1))
+    record = benchmark.pedantic(
+        lambda: _measure(scale, shared_traces, jobs), rounds=1, iterations=1
+    )
+    record["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    lines = [f"Parallel sweep speedup (jobs={jobs}, cores={record['cpu_count']})"]
+    for name, row in record["scales"].items():
+        lines.append(
+            f"  {name}: {row['cells']} cells, serial {row['serial_s']}s, "
+            f"parallel {row['parallel_s']}s, speedup {row['speedup']}x"
+        )
+    artifact("parallel_speedup", "\n".join(lines))
+    print(f"[written to {BENCH_PATH}]")
+
+    if jobs >= 4:
+        biggest = max(record["scales"],
+                      key=lambda n: record["scales"][n]["cells"])
+        assert record["scales"][biggest]["speedup"] >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x on {jobs} workers, got "
+            f"{record['scales'][biggest]['speedup']}x"
+        )

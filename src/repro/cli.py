@@ -3,7 +3,7 @@
 Examples::
 
     python -m repro fig1 --scale small
-    python -m repro fig4 --scale medium
+    python -m repro fig4 --scale medium --jobs 4
     python -m repro table2
     python -m repro fig8
     python -m repro litmus --workloads skew_frequency
@@ -11,7 +11,9 @@ Examples::
     python -m repro export-azure --out /tmp/azure-day --functions 1000
 
 Every command prints the paper-style table to stdout; ``--scale`` selects
-the experiment sizing (small/medium/full).
+the experiment sizing (small/medium/full) and ``--jobs`` fans sweep
+commands out over worker processes (``REPRO_JOBS`` is the ambient
+default; results are identical at any job count).
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ from .experiments import (
     table3_rows,
     table4_rows,
 )
+from .parallel import resolve_jobs
 
 __all__ = ["main", "build_parser"]
 
@@ -57,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_SCALES),
         default="small",
         help="experiment sizing (default: small; benches use medium)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep commands (default: $REPRO_JOBS "
+             "or 1 = serial; 0 = all cores)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -77,14 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="design-choice ablations")
     ablation.add_argument(
         "--which",
-        choices=["queue", "bypass", "regulator", "coldpath", "all"],
+        choices=["queue", "bypass", "regulator", "coldpath", "lb", "all"],
         default="all",
     )
     hrc = sub.add_parser(
         "hrc", help="hit-ratio-curve provisioning recommendation"
     )
     hrc.add_argument("--target-cold-ratio", type=float, default=0.10)
-    sub.add_parser("cluster-study", help="full-stack cluster trace study")
+    cluster = sub.add_parser("cluster-study", help="full-stack cluster trace study")
+    cluster.add_argument(
+        "--compare-lb",
+        action="store_true",
+        help="sweep the study across LB policies (one process per policy)",
+    )
     export = sub.add_parser(
         "export-azure", help="write a synthetic dataset in the Azure CSV schema"
     )
@@ -96,7 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:  # e.g. REPRO_JOBS=banana
+        parser.error(str(exc))
     scale = _SCALES[args.scale]
     out = []
 
@@ -111,14 +132,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "table4":
         out.append(format_table(table4_rows(), title="Table 4"))
     elif args.command in ("fig4", "fig5"):
-        results = run_keepalive_sweep(scale)
+        results = run_keepalive_sweep(scale, n_jobs=args.jobs)
         rows = fig4_rows(results) if args.command == "fig4" else fig5_rows(results)
         title = "Figure 4" if args.command == "fig4" else "Figure 5"
         out.append(format_table(rows, title=title))
     elif args.command == "litmus":
         out.append(
             format_table(
-                fig6_rows(scale, workloads=tuple(args.workloads)),
+                fig6_rows(scale, workloads=tuple(args.workloads),
+                          n_jobs=args.jobs),
                 title="Figure 6",
             )
         )
@@ -130,7 +152,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "ablation":
         which = args.which
         if which in ("queue", "all"):
-            out.append(format_table(run_queue_policy_ablation(),
+            out.append(format_table(run_queue_policy_ablation(n_jobs=args.jobs),
                                     title="Queue disciplines"))
         if which in ("bypass", "all"):
             out.append(format_table(run_bypass_ablation(), title="Bypass"))
@@ -138,6 +160,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             out.append(format_table(run_regulator_ablation(), title="Regulator"))
         if which in ("coldpath", "all"):
             out.append(format_table(run_coldpath_ablation(), title="Cold path"))
+        if which in ("lb", "all"):
+            from .experiments import run_lb_ablation, run_lb_policy_comparison
+
+            out.append(format_table(run_lb_ablation(n_jobs=args.jobs),
+                                    title="CH-BL bound factor"))
+            out.append(format_table(run_lb_policy_comparison(n_jobs=args.jobs),
+                                    title="LB policies"))
     elif args.command == "hrc":
         from .keepalive import hit_ratio_curve, recommend_cache_size
 
@@ -155,10 +184,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{'unreachable' if size is None else f'{size:,.0f} MB'}"
         )
     elif args.command == "cluster-study":
-        from .experiments import run_cluster_study
+        if args.compare_lb:
+            from .experiments import run_cluster_lb_sweep
 
-        result = run_cluster_study(scale)
-        out.append(format_table([result.as_dict()], title="Cluster study"))
+            rows = run_cluster_lb_sweep(scale, n_jobs=args.jobs)
+            out.append(format_table(rows, title="Cluster study (LB sweep)"))
+        else:
+            from .experiments import run_cluster_study
+
+            result = run_cluster_study(scale)
+            out.append(format_table([result.as_dict()], title="Cluster study"))
     elif args.command == "export-azure":
         from .trace.azure import AzureTraceConfig, generate_dataset
         from .trace.azure_io import write_azure_csvs

@@ -1,6 +1,6 @@
 """Experiment harnesses: one module per paper table/figure plus ablations."""
 
-from .cluster_study import ClusterStudyResult, run_cluster_study
+from .cluster_study import ClusterStudyResult, run_cluster_lb_sweep, run_cluster_study
 from .defaults import FULL, MEDIUM, SMALL, Scale
 from .fig1_overhead_scaling import Fig1Row, fig1_rows, run_fig1
 from .fig6_litmus import LITMUS_WORKLOADS, fig6_rows, litmus_plan, run_litmus
@@ -21,6 +21,7 @@ from .tables import PAPER_TABLE3, appendix_timeseries, table3_rows, table4_rows
 __all__ = [
     "ClusterStudyResult",
     "run_cluster_study",
+    "run_cluster_lb_sweep",
     "FULL",
     "MEDIUM",
     "SMALL",

@@ -11,7 +11,7 @@ latency percentiles, locality, per-worker balance).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -20,6 +20,8 @@ from ..core.function import FunctionRegistration
 from ..loadbalancer.cluster import Cluster
 from ..loadgen.openloop import plan_from_trace, replay_plan
 from ..metrics.stats import percentile
+from ..parallel.pool import run_parallel
+from ..parallel.tasks import cluster_study_cell
 from ..sim.core import Environment
 from ..trace.model import Trace
 from ..trace.scaling import little_load, scale_to_load
@@ -27,7 +29,7 @@ from ..workloads.mapping import map_trace_to_catalog
 from .defaults import MEDIUM, Scale
 from .keepalive_sweep import make_traces
 
-__all__ = ["ClusterStudyResult", "run_cluster_study"]
+__all__ = ["ClusterStudyResult", "run_cluster_study", "run_cluster_lb_sweep"]
 
 
 @dataclass(frozen=True)
@@ -140,3 +142,35 @@ def run_cluster_study(
         per_worker_invocations=per_worker,
         total_load=little_load(trace),
     )
+
+
+def run_cluster_lb_sweep(
+    scale: Scale = MEDIUM,
+    lb_policies: Sequence[str] = ("ch_bl", "round_robin", "least_loaded"),
+    trace: Optional[Trace] = None,
+    num_workers: int = 4,
+    cores_per_worker: int = 8,
+    memory_per_worker_mb: float = 8192.0,
+    target_load_fraction: float = 0.6,
+    duration_cap: float = 1800.0,
+    n_jobs: Optional[int] = None,
+) -> list[dict]:
+    """The full-stack study repeated per LB policy, one process per run.
+
+    The (expensive) trace generates once in the parent and ships to each
+    worker via the pool initializer; every policy then replays the same
+    invocation sequence.  Returns one row per policy in ``lb_policies``
+    order.
+    """
+    if trace is None:
+        trace = make_traces(scale)["representative"]
+    cells = [
+        (policy, num_workers, cores_per_worker, memory_per_worker_mb,
+         target_load_fraction, duration_cap)
+        for policy in lb_policies
+    ]
+    results = run_parallel(cluster_study_cell, cells, n_jobs=n_jobs, shared=trace)
+    return [
+        {"lb_policy": policy, **result.as_dict()}
+        for policy, result in zip(lb_policies, results)
+    ]

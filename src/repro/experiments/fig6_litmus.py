@@ -15,11 +15,13 @@ its buffer sheds requests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..baselines.openwhisk import OpenWhiskConfig, OpenWhiskWorker
 from ..loadgen.openloop import FunctionMix, InvocationPlan, build_plan, replay_plan
 from ..metrics.registry import Outcome
+from ..parallel.pool import run_parallel
+from ..parallel.tasks import litmus_cell
 from ..sim.core import Environment
 from ..sim.distributions import Constant, Exponential
 from ..workloads.functionbench import FUNCTIONBENCH, registration_for
@@ -176,6 +178,7 @@ def run_litmus(
     memory_mb: float = 1536.0,
     cores: int = 16,
     repeats: int = 3,
+    n_jobs: Optional[int] = None,
 ) -> list[LitmusResult]:
     """Both systems across all litmus workloads.
 
@@ -184,33 +187,34 @@ def run_litmus(
     above memory, cold-start load just above the CPU capacity).  Counts
     are summed over ``repeats`` independent seeds so the comparison is
     not hostage to one arrival sequence.
+
+    Each (workload, system, seed) replay is independent, so the whole
+    grid fans out over ``n_jobs`` processes; results aggregate in grid
+    order, identical at any job count.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    pairs = [(w, s) for w in workloads for s in ("openwhisk", "faascache")]
+    cells = [
+        (workload, system, scale.litmus_duration, memory_mb, cores,
+         scale.seed + rep)
+        for workload, system in pairs
+        for rep in range(repeats)
+    ]
+    cell_results = run_parallel(litmus_cell, cells, n_jobs=n_jobs)
     results = []
-    for workload in workloads:
-        for system in ("openwhisk", "faascache"):
-            runs = [
-                _run_one(
-                    workload,
-                    system,
-                    duration=scale.litmus_duration,
-                    memory_mb=memory_mb,
-                    cores=cores,
-                    seed=scale.seed + rep,
-                )
-                for rep in range(repeats)
-            ]
-            results.append(
-                LitmusResult(
-                    workload=workload,
-                    system=system,
-                    warm=sum(r.warm for r in runs),
-                    cold=sum(r.cold for r in runs),
-                    dropped=sum(r.dropped for r in runs),
-                    mean_e2e=sum(r.mean_e2e for r in runs) / len(runs),
-                )
+    for k, (workload, system) in enumerate(pairs):
+        runs = cell_results[k * repeats:(k + 1) * repeats]
+        results.append(
+            LitmusResult(
+                workload=workload,
+                system=system,
+                warm=sum(r.warm for r in runs),
+                cold=sum(r.cold for r in runs),
+                dropped=sum(r.dropped for r in runs),
+                mean_e2e=sum(r.mean_e2e for r in runs) / len(runs),
             )
+        )
     return results
 
 

@@ -19,7 +19,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..keepalive.policies import POLICY_NAMES
-from ..keepalive.simulator import KeepAliveResult, simulate
+from ..keepalive.simulator import KeepAliveResult
+from ..parallel.pool import run_parallel
+from ..parallel.tasks import keepalive_cell
 from ..trace.azure import AzureTraceConfig, generate_dataset
 from ..trace.model import Trace
 from ..trace.sampling import standard_samples
@@ -49,16 +51,24 @@ def run_keepalive_sweep(
     scale: Scale = MEDIUM,
     policies: Sequence[str] = POLICY_NAMES,
     traces: Optional[dict[str, Trace]] = None,
+    n_jobs: Optional[int] = None,
 ) -> list[tuple[str, KeepAliveResult]]:
-    """(trace_name, result) for every trace x policy x cache size."""
+    """(trace_name, result) for every trace x policy x cache size.
+
+    Every cell is an independent replay, so the grid fans out over
+    ``n_jobs`` worker processes (default: serial; see
+    :func:`repro.parallel.resolve_jobs`).  The traces ship to each
+    worker once via the pool initializer, and results come back in grid
+    order — identical rows and ordering at any ``n_jobs``.
+    """
     traces = traces if traces is not None else make_traces(scale)
-    out: list[tuple[str, KeepAliveResult]] = []
-    for trace_name, trace in traces.items():
-        for policy in policies:
-            for size_gb in scale.cache_sizes_gb:
-                result = simulate(trace, policy, size_gb * 1024.0)
-                out.append((trace_name, result))
-    return out
+    cells = [
+        (trace_name, policy, size_gb * 1024.0)
+        for trace_name in traces
+        for policy in policies
+        for size_gb in scale.cache_sizes_gb
+    ]
+    return run_parallel(keepalive_cell, cells, n_jobs=n_jobs, shared=traces)
 
 
 def fig4_rows(results: Sequence[tuple[str, KeepAliveResult]]) -> list[dict]:

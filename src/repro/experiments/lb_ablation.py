@@ -9,7 +9,7 @@ factors and reports warm ratio, forwards, and latency.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +17,8 @@ from ..core.config import WorkerConfig
 from ..loadbalancer.cluster import Cluster
 from ..loadgen.openloop import FunctionMix, build_plan, replay_plan
 from ..metrics.stats import percentile
+from ..parallel.pool import run_parallel
+from ..parallel.tasks import lb_bound_cell, lb_policy_cell
 from ..sim.core import Environment
 from ..sim.distributions import Exponential
 from ..workloads.lookbusy import lookbusy_function
@@ -24,11 +26,49 @@ from ..workloads.lookbusy import lookbusy_function
 __all__ = ["run_lb_ablation", "run_lb_policy_comparison"]
 
 
+def _lb_policy_row(
+    policy: str, num_workers: int, duration: float, seed: int
+) -> dict:
+    """One LB policy's row (top-level so pool workers can import it)."""
+    functions = [
+        lookbusy_function(f"fn-{i}", run_time=0.3 + 0.2 * (i % 4),
+                          memory_mb=128.0, init_time=1.5)
+        for i in range(24)
+    ]
+    mixes = [FunctionMix(f.fqdn(), Exponential(2.0 + 0.5 * (i % 8)))
+             for i, f in enumerate(functions)]
+    env = Environment()
+    cluster = Cluster(
+        env,
+        num_workers=num_workers,
+        config=WorkerConfig(cores=4, memory_mb=1024.0, backend="null",
+                            free_memory_buffer_mb=128.0, seed=seed),
+        lb_policy=policy,
+    )
+    cluster.start()
+    for f in functions:
+        cluster.register_sync(f)
+    plan = build_plan(mixes, duration, seed=seed)
+    invocations = replay_plan(env, cluster, plan, grace=120.0)
+    cluster.stop()
+    done = [i for i in invocations if not i.dropped and i.completed_at]
+    warm = sum(1 for i in done if not i.cold)
+    e2e = [i.e2e_time for i in done]
+    return {
+        "policy": policy,
+        "completed": len(done),
+        "warm_ratio": warm / max(len(done), 1),
+        "e2e_p50_ms": percentile(e2e, 50) * 1000.0,
+        "e2e_p99_ms": percentile(e2e, 99) * 1000.0,
+    }
+
+
 def run_lb_policy_comparison(
     policies: Sequence[str] = ("ch_bl", "round_robin", "least_loaded"),
     num_workers: int = 4,
     duration: float = 180.0,
     seed: int = 23,
+    n_jobs: Optional[int] = None,
 ) -> list[dict]:
     """CH-BL vs locality-blind baselines on the same skewed workload.
 
@@ -37,53 +77,14 @@ def run_lb_policy_comparison(
     destroys locality entirely; least-loaded partially.  Worker memory is
     sized so no single worker can hold the whole function population —
     the regime in which placement locality decides the warm-hit rate."""
-    functions = [
-        lookbusy_function(f"fn-{i}", run_time=0.3 + 0.2 * (i % 4),
-                          memory_mb=128.0, init_time=1.5)
-        for i in range(24)
-    ]
-    mixes = [FunctionMix(f.fqdn(), Exponential(2.0 + 0.5 * (i % 8)))
-             for i, f in enumerate(functions)]
-
-    rows = []
-    for policy in policies:
-        env = Environment()
-        cluster = Cluster(
-            env,
-            num_workers=num_workers,
-            config=WorkerConfig(cores=4, memory_mb=1024.0, backend="null",
-                                free_memory_buffer_mb=128.0, seed=seed),
-            lb_policy=policy,
-        )
-        cluster.start()
-        for f in functions:
-            cluster.register_sync(f)
-        plan = build_plan(mixes, duration, seed=seed)
-        invocations = replay_plan(env, cluster, plan, grace=120.0)
-        cluster.stop()
-        done = [i for i in invocations if not i.dropped and i.completed_at]
-        warm = sum(1 for i in done if not i.cold)
-        e2e = [i.e2e_time for i in done]
-        rows.append(
-            {
-                "policy": policy,
-                "completed": len(done),
-                "warm_ratio": warm / max(len(done), 1),
-                "e2e_p50_ms": percentile(e2e, 50) * 1000.0,
-                "e2e_p99_ms": percentile(e2e, 99) * 1000.0,
-            }
-        )
-    return rows
+    cells = [(policy, num_workers, duration, seed) for policy in policies]
+    return run_parallel(lb_policy_cell, cells, n_jobs=n_jobs)
 
 
-def run_lb_ablation(
-    bound_factors: Sequence[float] = (1.0, 1.2, 1.5, 2.0),
-    num_workers: int = 4,
-    duration: float = 180.0,
-    seed: int = 23,
-) -> list[dict]:
-    """One row per bound factor: locality/latency outcomes of CH-BL."""
-    rows = []
+def _bound_factor_row(
+    factor: float, num_workers: int, duration: float, seed: int
+) -> dict:
+    """One CH-BL bound factor's row (top-level for pool workers)."""
     functions = [
         lookbusy_function(f"fn-{i}", run_time=0.3 + 0.2 * (i % 4),
                           memory_mb=128.0, init_time=1.5)
@@ -95,33 +96,41 @@ def run_lb_ablation(
         FunctionMix(functions[1].fqdn(), Exponential(0.25)),
     ] + [FunctionMix(f.fqdn(), Exponential(2.0)) for f in functions[2:]]
 
-    for factor in bound_factors:
-        env = Environment()
-        cluster = Cluster(
-            env,
-            num_workers=num_workers,
-            config=WorkerConfig(cores=2, memory_mb=4096.0, backend="null",
-                                seed=seed),
-            bound_factor=factor,
-        )
-        cluster.start()
-        for f in functions:
-            cluster.register_sync(f)
-        plan = build_plan(mixes, duration, seed=seed)
-        invocations = replay_plan(env, cluster, plan, grace=120.0)
-        cluster.stop()
+    env = Environment()
+    cluster = Cluster(
+        env,
+        num_workers=num_workers,
+        config=WorkerConfig(cores=2, memory_mb=4096.0, backend="null",
+                            seed=seed),
+        bound_factor=factor,
+    )
+    cluster.start()
+    for f in functions:
+        cluster.register_sync(f)
+    plan = build_plan(mixes, duration, seed=seed)
+    invocations = replay_plan(env, cluster, plan, grace=120.0)
+    cluster.stop()
 
-        done = [i for i in invocations if not i.dropped and i.completed_at]
-        warm = sum(1 for i in done if not i.cold)
-        e2e = [i.e2e_time for i in done]
-        rows.append(
-            {
-                "bound_factor": factor,
-                "completed": len(done),
-                "warm_ratio": warm / max(len(done), 1),
-                "forwards": cluster.balancer.forwards,
-                "e2e_p50_ms": percentile(e2e, 50) * 1000.0,
-                "e2e_p99_ms": percentile(e2e, 99) * 1000.0,
-            }
-        )
-    return rows
+    done = [i for i in invocations if not i.dropped and i.completed_at]
+    warm = sum(1 for i in done if not i.cold)
+    e2e = [i.e2e_time for i in done]
+    return {
+        "bound_factor": factor,
+        "completed": len(done),
+        "warm_ratio": warm / max(len(done), 1),
+        "forwards": cluster.balancer.forwards,
+        "e2e_p50_ms": percentile(e2e, 50) * 1000.0,
+        "e2e_p99_ms": percentile(e2e, 99) * 1000.0,
+    }
+
+
+def run_lb_ablation(
+    bound_factors: Sequence[float] = (1.0, 1.2, 1.5, 2.0),
+    num_workers: int = 4,
+    duration: float = 180.0,
+    seed: int = 23,
+    n_jobs: Optional[int] = None,
+) -> list[dict]:
+    """One row per bound factor: locality/latency outcomes of CH-BL."""
+    cells = [(factor, num_workers, duration, seed) for factor in bound_factors]
+    return run_parallel(lb_bound_cell, cells, n_jobs=n_jobs)

@@ -22,6 +22,8 @@ from ..core.config import WorkerConfig
 from ..core.worker import Worker
 from ..loadgen.openloop import FunctionMix, build_plan, replay_plan
 from ..metrics.stats import percentile
+from ..parallel.pool import run_parallel
+from ..parallel.tasks import queue_policy_cell
 from ..sim.core import Environment
 from ..sim.distributions import Exponential
 from ..workloads.lookbusy import lookbusy_function
@@ -77,24 +79,28 @@ def _run_workload(config: WorkerConfig, duration: float, seed: int = 11) -> dict
     }
 
 
+def _queue_policy_row(policy: str, duration: float, cores: int) -> dict:
+    """One discipline's row (top-level so pool workers can import it)."""
+    cfg = WorkerConfig(
+        cores=cores,
+        memory_mb=8192.0,
+        backend="null",
+        queue_policy=policy,
+        bypass_enabled=False,
+    )
+    row = {"policy": policy}
+    row.update(_run_workload(cfg, duration))
+    return row
+
+
 def run_queue_policy_ablation(
     duration: float = 120.0,
     policies: Sequence[str] = ("fcfs", "sjf", "eedf", "rare", "mqfq"),
     cores: int = 4,
+    n_jobs: Optional[int] = None,
 ) -> list[dict]:
-    rows = []
-    for policy in policies:
-        cfg = WorkerConfig(
-            cores=cores,
-            memory_mb=8192.0,
-            backend="null",
-            queue_policy=policy,
-            bypass_enabled=False,
-        )
-        row = {"policy": policy}
-        row.update(_run_workload(cfg, duration))
-        rows.append(row)
-    return rows
+    cells = [(policy, duration, cores) for policy in policies]
+    return run_parallel(queue_policy_cell, cells, n_jobs=n_jobs)
 
 
 def run_bypass_ablation(duration: float = 120.0, cores: int = 4) -> list[dict]:

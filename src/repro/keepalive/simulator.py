@@ -103,68 +103,122 @@ class KeepAliveSimulator:
         is_hist = isinstance(policy, HistogramPolicy)
         functions = trace.functions
         timestamps = trace.timestamps
-        fidx = trace.function_idx
         per_function_cold: dict[str, int] = {}
         profiles = {f.name: f for f in functions}
 
-        preload_heap: list = []  # (when, PreloadRequest) for HIST
-        next_tick = self.tick_interval if self.tick_interval is not None else None
+        # Hot-loop setup.  The replay visits millions of invocations, so
+        # the per-invocation costs of `functions[int(fidx[i])]` plus a
+        # dataclass attribute walk (and the `cold - warm` property) add
+        # up.  Resolve every per-function attribute into parallel lists
+        # once, convert the NumPy arrays to plain Python scalars in one
+        # bulk `tolist()` (no per-element scalar boxing), and cache the
+        # cache's bound methods.  Same floats, same call sequence —
+        # results are bit-identical to the naive loop.
+        names = [f.name for f in functions]
+        mems = [float(f.memory_mb) for f in functions]
+        warms = [float(f.warm_time) for f in functions]
+        colds = [float(f.cold_time) for f in functions]
+        inits = [c - w for c, w in zip(colds, warms)]
+        ts_list = timestamps.tolist()
+        fi_list = trace.function_idx.tolist()
 
-        for i in range(timestamps.size):
-            t = float(timestamps[i])
-            f = functions[int(fidx[i])]
+        cache_lookup = cache.lookup
+        cache_finish = cache.finish
+        cache_insert = cache.insert
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        record_arrival = policy.record_arrival if is_hist else None
+        preloads_after = policy.preloads_after if is_hist else None
+
+        # Running counters live in locals inside the loop; they flush to
+        # the instance attributes around controller ticks (ticks read
+        # e.g. ``sim.cold_starts``) and at the end of the replay.
+        cold_starts = self.cold_starts
+        warm_starts = self.warm_starts
+        uncacheable = self.uncacheable
+        total_warm_exec = self.total_warm_exec
+        total_cold_overhead = self.total_cold_overhead
+
+        preload_heap: list = []  # (when, PreloadRequest) for HIST
+        tick_interval = self.tick_interval
+        next_tick = tick_interval if tick_interval is not None else None
+
+        for i, t in enumerate(ts_list):
+            j = fi_list[i]
+            name = names[j]
+            warm_time = warms[j]
             self.now = t
 
             # Fire any controller ticks due before this arrival.
             if next_tick is not None:
                 while next_tick <= t:
                     if self.on_tick is not None:
+                        self.cold_starts = cold_starts
+                        self.warm_starts = warm_starts
+                        self.uncacheable = uncacheable
+                        self.total_warm_exec = total_warm_exec
+                        self.total_cold_overhead = total_cold_overhead
                         self.on_tick(next_tick, self)
-                    next_tick += self.tick_interval
+                        # The tick may resize or replace the cache and
+                        # adjust counters; re-resolve everything cached.
+                        cold_starts = self.cold_starts
+                        warm_starts = self.warm_starts
+                        uncacheable = self.uncacheable
+                        total_warm_exec = self.total_warm_exec
+                        total_cold_overhead = self.total_cold_overhead
+                        cache = self.cache
+                        cache_lookup = cache.lookup
+                        cache_finish = cache.finish
+                        cache_insert = cache.insert
+                    next_tick += tick_interval
 
             # Apply due HIST preloads.
             while preload_heap and preload_heap[0][0] <= t:
-                _, req = heapq.heappop(preload_heap)
+                _, req = heappop(preload_heap)
                 self._apply_preload(req, profiles)
 
             if is_hist:
-                policy.record_arrival(f.name, t)
+                record_arrival(name, t)
 
-            container = cache.lookup(f.name, t)
+            container = cache_lookup(name, t)
             if container is not None:
                 # Warm start: runs for the warm (average) time.
-                cache.finish(container, t + f.warm_time)
-                self.warm_starts += 1
-                idle_at = t + f.warm_time
+                cache_finish(container, t + warm_time)
+                warm_starts += 1
+                idle_at = t + warm_time
             else:
                 # Cold start: pay the initialization overhead.
-                self.cold_starts += 1
-                per_function_cold[f.name] = per_function_cold.get(f.name, 0) + 1
-                self.total_cold_overhead += f.init_cost
-                container = cache.insert(
-                    f.name, f.memory_mb, f.init_cost, f.warm_time, t
-                )
+                cold_starts += 1
+                per_function_cold[name] = per_function_cold.get(name, 0) + 1
+                total_cold_overhead += inits[j]
+                container = cache_insert(name, mems[j], inits[j], warm_time, t)
                 if container is None:
-                    self.uncacheable += 1
+                    uncacheable += 1
                     idle_at = None
                 else:
-                    cache.finish(container, t + f.cold_time)
-                    idle_at = t + f.cold_time
-            self.total_warm_exec += f.warm_time
+                    cache_finish(container, t + colds[j])
+                    idle_at = t + colds[j]
+            total_warm_exec += warm_time
 
             if is_hist and idle_at is not None:
-                for req in policy.preloads_after(f.name, t):
-                    heapq.heappush(preload_heap, (req.when, req))
+                for req in preloads_after(name, t):
+                    heappush(preload_heap, (req.when, req))
+
+        self.cold_starts = cold_starts
+        self.warm_starts = warm_starts
+        self.uncacheable = uncacheable
+        self.total_warm_exec = total_warm_exec
+        self.total_cold_overhead = total_cold_overhead
 
         return KeepAliveResult(
             policy=policy.name,
-            cache_size_mb=self.cache.capacity_mb,
+            cache_size_mb=cache.capacity_mb,
             invocations=int(timestamps.size),
-            cold_starts=self.cold_starts,
-            warm_starts=self.warm_starts,
-            uncacheable=self.uncacheable,
-            total_warm_exec=self.total_warm_exec,
-            total_cold_overhead=self.total_cold_overhead,
+            cold_starts=cold_starts,
+            warm_starts=warm_starts,
+            uncacheable=uncacheable,
+            total_warm_exec=total_warm_exec,
+            total_cold_overhead=total_cold_overhead,
             evictions=cache.stats.evictions,
             expirations=cache.stats.expirations,
             preloads=cache.stats.preloads,
@@ -212,14 +266,21 @@ def sweep_cache_sizes(
     trace: Trace,
     policy_names: Sequence[str],
     cache_sizes_gb: Sequence[float],
+    n_jobs: Optional[int] = None,
 ) -> list[KeepAliveResult]:
     """The Fig-4/5 parameter sweep: policies x cache sizes over one trace.
 
     Every run gets a fresh policy and cache (policies carry cross-entry
-    state such as the Greedy-Dual clock and HIST histograms).
+    state such as the Greedy-Dual clock and HIST histograms).  The grid
+    fans out over ``n_jobs`` worker processes (default serial), shipping
+    the trace to each worker once; results come back in grid order.
     """
-    results = []
-    for name in policy_names:
-        for size_gb in cache_sizes_gb:
-            results.append(simulate(trace, name, size_gb * 1024.0))
-    return results
+    from ..parallel.pool import run_parallel
+    from ..parallel.tasks import cache_size_cell
+
+    cells = [
+        (name, size_gb * 1024.0)
+        for name in policy_names
+        for size_gb in cache_sizes_gb
+    ]
+    return run_parallel(cache_size_cell, cells, n_jobs=n_jobs, shared=trace)

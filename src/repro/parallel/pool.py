@@ -1,0 +1,167 @@
+"""Process-pool sweep runner.
+
+``run_parallel`` executes one top-level task function over a list of
+argument tuples.  The contract that keeps parallel runs interchangeable
+with serial ones:
+
+* **Determinism** — results are keyed by task index and returned in
+  submission order; completion order never leaks into the output.
+* **Pickle-once shipping** — the ``shared`` payload (typically the dict
+  of NumPy-backed traces) is serialized a single time in the parent and
+  rehydrated once per worker by the pool initializer.  Tasks reference
+  it through a module global, so per-task messages carry only small
+  argument tuples.
+* **Graceful fallback** — ``n_jobs=1`` (or a pool that cannot start:
+  missing semaphores, sandboxed /dev/shm, restricted fork) runs the
+  exact same task function in-process.
+
+Task functions must be importable top-level callables
+(``module.function``), so they survive both ``fork`` and ``spawn``
+start methods.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["ParallelUnavailable", "resolve_jobs", "effective_jobs", "run_parallel"]
+
+
+class ParallelUnavailable(RuntimeError):
+    """Raised internally when a process pool cannot be started."""
+
+
+# Per-worker state installed by the pool initializer (also set on the
+# serial path so task functions see one environment everywhere).
+_WORKER_FUNC: Optional[Callable] = None
+_WORKER_SHARED: Any = None
+
+
+def resolve_jobs(n_jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit arg > ``REPRO_JOBS`` env > 1.
+
+    ``0`` or a negative value (either source) means "all cores".
+    """
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+    n_jobs = int(n_jobs)
+    if n_jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return n_jobs
+
+
+def effective_jobs(n_jobs: Optional[int], num_tasks: int) -> int:
+    """Workers actually worth starting: never more than there are tasks."""
+    return max(1, min(resolve_jobs(n_jobs), num_tasks))
+
+
+def _init_worker(func: Callable, payload: Optional[bytes]) -> None:
+    """Pool initializer: rehydrate the shared payload once per worker."""
+    global _WORKER_FUNC, _WORKER_SHARED
+    _WORKER_FUNC = func
+    _WORKER_SHARED = pickle.loads(payload) if payload is not None else None
+
+
+def _run_cell(item: tuple) -> tuple:
+    """Execute one task in a worker; results ride home with their index."""
+    index, args = item
+    return index, _WORKER_FUNC(_WORKER_SHARED, *args)
+
+
+def _default_chunksize(num_tasks: int, jobs: int) -> int:
+    """~4 chunks per worker: amortize IPC without starving the tail."""
+    return max(1, num_tasks // (jobs * 4))
+
+
+def _run_serial(func: Callable, tasks: Sequence[tuple], shared: Any) -> list:
+    global _WORKER_FUNC, _WORKER_SHARED
+    prev = (_WORKER_FUNC, _WORKER_SHARED)
+    _WORKER_FUNC, _WORKER_SHARED = func, shared
+    try:
+        return [func(shared, *args) for args in tasks]
+    finally:
+        _WORKER_FUNC, _WORKER_SHARED = prev
+
+
+def run_parallel(
+    func: Callable,
+    tasks: Sequence[tuple],
+    n_jobs: Optional[int] = None,
+    shared: Any = None,
+    chunksize: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> list:
+    """Run ``func(shared, *args)`` for every args-tuple in ``tasks``.
+
+    Returns the results in task order.  ``n_jobs`` resolves through
+    :func:`resolve_jobs`; with one worker (the default) everything runs
+    in-process.  ``start_method`` overrides the multiprocessing context
+    (``REPRO_MP_START`` env var is the ambient override).
+    """
+    tasks = [tuple(args) for args in tasks]
+    jobs = effective_jobs(n_jobs, len(tasks))
+    if jobs <= 1 or not tasks:
+        return _run_serial(func, tasks, shared)
+
+    try:
+        return _run_pool(func, tasks, jobs, shared, chunksize, start_method)
+    except ParallelUnavailable as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc}); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(func, tasks, shared)
+
+
+def _run_pool(
+    func: Callable,
+    tasks: list,
+    jobs: int,
+    shared: Any,
+    chunksize: Optional[int],
+    start_method: Optional[str],
+) -> list:
+    import multiprocessing as mp
+
+    method = start_method or os.environ.get("REPRO_MP_START") or None
+    try:
+        ctx = mp.get_context(method)
+        payload = (
+            pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+            if shared is not None
+            else None
+        )
+        pool = ctx.Pool(
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(func, payload),
+        )
+    except (OSError, ValueError, ImportError, AttributeError, pickle.PicklingError) as exc:
+        raise ParallelUnavailable(str(exc)) from exc
+
+    size = chunksize if chunksize is not None else _default_chunksize(len(tasks), jobs)
+    out: list = [None] * len(tasks)
+    try:
+        for index, value in pool.imap_unordered(
+            _run_cell, list(enumerate(tasks)), chunksize=size
+        ):
+            out[index] = value
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
+    pool.close()
+    pool.join()
+    return out

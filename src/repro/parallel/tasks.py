@@ -1,0 +1,106 @@
+"""Top-level task functions for the experiment sweeps.
+
+One function per sweep-cell kind.  All of them are importable module
+attributes (``repro.parallel.tasks.<name>``) so a pool worker can
+rehydrate them by reference under either the ``fork`` or ``spawn``
+start method.  Every task takes the pool-wide ``shared`` payload as its
+first argument — the traces dict for the keep-alive sweep, the
+pre-generated trace for the cluster study, ``None`` where a cell is
+self-contained.
+
+Experiment modules are imported *inside* the task bodies: the
+experiment runners import :mod:`repro.parallel` for the pool, so a
+module-level import here would be circular.  The deferred import costs
+one dict lookup per call after the first.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "keepalive_cell",
+    "cache_size_cell",
+    "litmus_cell",
+    "queue_policy_cell",
+    "lb_bound_cell",
+    "lb_policy_cell",
+    "cluster_study_cell",
+]
+
+
+def keepalive_cell(shared: Any, trace_name: str, policy: str, cache_size_mb: float):
+    """One Fig-4/5 cell: replay ``shared[trace_name]`` under one policy."""
+    from ..keepalive.simulator import simulate
+
+    return trace_name, simulate(shared[trace_name], policy, cache_size_mb)
+
+
+def cache_size_cell(shared: Any, policy: str, cache_size_mb: float):
+    """One cache-size sweep cell over a single shared trace."""
+    from ..keepalive.simulator import simulate
+
+    return simulate(shared, policy, cache_size_mb)
+
+
+def litmus_cell(
+    shared: Any,
+    workload: str,
+    system: str,
+    duration: float,
+    memory_mb: float,
+    cores: int,
+    seed: int,
+):
+    """One Fig-6 cell: one litmus workload x system x seed replay."""
+    from ..experiments.fig6_litmus import _run_one
+
+    return _run_one(workload, system, duration, memory_mb, cores, seed)
+
+
+def queue_policy_cell(shared: Any, policy: str, duration: float, cores: int):
+    """One queue-discipline ablation row."""
+    from ..experiments.queue_ablation import _queue_policy_row
+
+    return _queue_policy_row(policy, duration, cores)
+
+
+def lb_bound_cell(
+    shared: Any, factor: float, num_workers: int, duration: float, seed: int
+):
+    """One CH-BL bound-factor ablation row."""
+    from ..experiments.lb_ablation import _bound_factor_row
+
+    return _bound_factor_row(factor, num_workers, duration, seed)
+
+
+def lb_policy_cell(
+    shared: Any, policy: str, num_workers: int, duration: float, seed: int
+):
+    """One LB-policy comparison row."""
+    from ..experiments.lb_ablation import _lb_policy_row
+
+    return _lb_policy_row(policy, num_workers, duration, seed)
+
+
+def cluster_study_cell(
+    shared: Any,
+    lb_policy: str,
+    num_workers: int,
+    cores_per_worker: int,
+    memory_per_worker_mb: float,
+    target_load_fraction: float,
+    duration_cap: float,
+):
+    """One cluster-study run; ``shared`` is the pre-generated trace."""
+    from ..experiments.cluster_study import run_cluster_study
+
+    return run_cluster_study(
+        trace=shared,
+        num_workers=num_workers,
+        cores_per_worker=cores_per_worker,
+        memory_per_worker_mb=memory_per_worker_mb,
+        target_load_fraction=target_load_fraction,
+        duration_cap=duration_cap,
+        lb_policy=lb_policy,
+    )

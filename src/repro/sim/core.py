@@ -19,7 +19,13 @@ and all randomness in higher layers flows through seeded
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+# Hot-path aliases: the calendar push/pop run once per event, so the
+# module-global lookup beats re-resolving heapq.<attr> every call.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 __all__ = [
     "Environment",
@@ -53,6 +59,14 @@ class Interrupt(Exception):
 PENDING = 0
 TRIGGERED = 1  # scheduled on the calendar, callbacks not yet run
 PROCESSED = 2  # callbacks have run
+
+
+def _tombstone(event: "Event") -> None:
+    """Placeholder left by :meth:`Process.interrupt` in a callback slot.
+
+    Replacing (instead of removing) keeps every other process's recorded
+    callback index valid; running it is a no-op.
+    """
 
 
 class Event:
@@ -151,7 +165,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self._ok = True
         self._state = TRIGGERED
         env._schedule(self, priority=0)
@@ -165,7 +179,7 @@ class Process(Event):
     :meth:`Environment.run` unless some other process waits on it).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_target_index", "_resume_cb", "name")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -174,6 +188,11 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        self._target_index: Optional[int] = None
+        # One bound-method object reused for every wait: saves an
+        # allocation per yield and gives interrupt() a stable identity
+        # to find in callback lists.
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
@@ -184,8 +203,21 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._state != PENDING:
             raise SimulationError("cannot interrupt a terminated process")
-        if self._target is not None and self._resume in self._target.callbacks:
-            self._target.callbacks.remove(self._resume)
+        # Detach from the waited-on event by swapping a tombstone into
+        # our recorded callback slot — O(1) where ``list.remove`` is
+        # O(n) per interrupt (O(n^2) when many waiters on one event all
+        # get interrupted).  Valid because callback lists are append-only
+        # until the event is processed, so recorded indices never shift.
+        target = self._target
+        if target is not None:
+            index = self._target_index
+            callbacks = target.callbacks
+            if (
+                index is not None
+                and index < len(callbacks)
+                and callbacks[index] is self._resume_cb
+            ):
+                callbacks[index] = _tombstone
         event = Event(self.env)
         event.callbacks.append(self._resume_interrupt(cause))
         event.succeed()
@@ -206,6 +238,7 @@ class Process(Event):
 
     def _step(self, advance: Callable[[], Any]) -> None:
         self._target = None
+        self._target_index = None
         self.env._active_process = self
         try:
             target = advance()
@@ -231,10 +264,13 @@ class Process(Event):
         if target._state == PROCESSED:
             # Already happened: resume immediately at the current time.
             proxy = Event(self.env)
-            proxy.callbacks.append(self._resume)
+            proxy.callbacks.append(self._resume_cb)
             proxy.trigger(target)
+            self._target_index = None
         else:
-            target.callbacks.append(self._resume)
+            callbacks = target.callbacks
+            self._target_index = len(callbacks)
+            callbacks.append(self._resume_cb)
         self._target = target
 
 
@@ -311,7 +347,7 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
-        self._failures: list[tuple[Process, BaseException]] = []
+        self._failures: deque[tuple[Process, BaseException]] = deque()
 
     # -- clock -----------------------------------------------------------
     @property
@@ -341,8 +377,8 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq = self._seq + 1
+        _heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def _note_failure(self, process: Process, exc: BaseException) -> None:
         self._failures.append((process, exc))
@@ -355,7 +391,7 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = _heappop(self._queue)
         if when < self._now:  # pragma: no cover - internal invariant
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -363,7 +399,14 @@ class Environment:
         event._state = PROCESSED
         for callback in callbacks:
             callback(event)
-        if not event._ok and not callbacks and not isinstance(event, Process):
+        # A failed event with no real waiters (tombstones left by
+        # interrupts don't count) propagates — silent failure would
+        # corrupt experiments.
+        if (
+            not event._ok
+            and not isinstance(event, Process)
+            and all(cb is _tombstone for cb in callbacks)
+        ):
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
@@ -375,10 +418,13 @@ class Environment:
         limit = float("inf") if until is None else float(until)
         if limit < self._now:
             raise ValueError(f"until={limit} lies in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= limit:
-            self.step()
-            while self._failures:
-                process, exc = self._failures.pop(0)
+        queue = self._queue
+        step = self.step
+        failures = self._failures
+        while queue and queue[0][0] <= limit:
+            step()
+            while failures:
+                process, exc = failures.popleft()
                 # A waited-on process delivers the exception to its waiters
                 # instead; only orphan failures propagate.
                 if not process.callbacks:
@@ -397,10 +443,13 @@ class Environment:
         limit = float("inf") if until is None else float(until)
         if limit < self._now:
             raise ValueError(f"until={limit} lies in the past (now={self._now})")
-        while not proc.triggered and self._queue and self._queue[0][0] <= limit:
-            self.step()
-            while self._failures:
-                process, exc = self._failures.pop(0)
+        queue = self._queue
+        step = self.step
+        failures = self._failures
+        while not proc.triggered and queue and queue[0][0] <= limit:
+            step()
+            while failures:
+                process, exc = failures.popleft()
                 if not process.callbacks:
                     raise exc
         if not proc.triggered:

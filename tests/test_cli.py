@@ -51,3 +51,22 @@ def test_export_azure_round_trip(tmp_path, capsys):
 def test_invalid_scale_rejected():
     with pytest.raises(SystemExit):
         main(["--scale", "galactic", "table4"])
+
+
+def test_jobs_flag_parses():
+    args = build_parser().parse_args(["--jobs", "4", "fig4"])
+    assert args.jobs == 4
+    args = build_parser().parse_args(["ablation", "--which", "lb"])
+    assert args.jobs is None
+
+
+def test_ablation_queue_with_jobs(capsys):
+    assert main(["--jobs", "2", "ablation", "--which", "queue"]) == 0
+    out = capsys.readouterr().out
+    assert "Queue disciplines" in out
+    assert "mqfq" in out
+
+
+def test_cluster_study_compare_lb_flag_parses():
+    args = build_parser().parse_args(["cluster-study", "--compare-lb"])
+    assert args.compare_lb is True

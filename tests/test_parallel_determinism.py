@@ -1,0 +1,72 @@
+"""Parallel == serial: the fan-out must never change an experiment.
+
+Same seed, any ``n_jobs``: every sweep returns bit-identical rows in
+identical order.  These tests pin the contract the whole
+``repro.parallel`` layer is built on.
+"""
+
+import pytest
+
+from repro.experiments.defaults import Scale
+from repro.experiments.fig6_litmus import run_litmus
+from repro.experiments.keepalive_sweep import fig4_rows, make_traces, run_keepalive_sweep
+from repro.experiments.lb_ablation import run_lb_ablation
+from repro.experiments.queue_ablation import run_queue_policy_ablation
+
+TINY = Scale(
+    name="tiny",
+    dataset_functions=100,
+    dataset_minutes=30,
+    rare_n=30,
+    representative_n=15,
+    random_n=10,
+    cache_sizes_gb=(1.0, 2.0),
+    fig1_clients=(1,),
+    fig1_duration=5.0,
+    litmus_duration=30.0,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_traces():
+    return make_traces(TINY)
+
+
+def test_keepalive_sweep_parallel_bit_identical(tiny_traces):
+    serial = run_keepalive_sweep(TINY, traces=tiny_traces, n_jobs=1)
+    parallel = run_keepalive_sweep(TINY, traces=tiny_traces, n_jobs=4)
+    # KeepAliveResult is a frozen dataclass: == compares every float
+    # exactly, and the list compare also pins the row order.
+    assert serial == parallel
+    assert [name for name, _ in serial] == [name for name, _ in parallel]
+    assert fig4_rows(serial) == fig4_rows(parallel)
+
+
+def test_keepalive_sweep_grid_order(tiny_traces):
+    results = run_keepalive_sweep(TINY, traces=tiny_traces, n_jobs=4,
+                                  policies=("TTL", "GD"))
+    expected = [
+        (trace_name, policy, gb * 1024.0)
+        for trace_name in tiny_traces
+        for policy in ("TTL", "GD")
+        for gb in TINY.cache_sizes_gb
+    ]
+    got = [(name, r.policy, r.cache_size_mb) for name, r in results]
+    assert got == expected
+
+
+def test_queue_ablation_parallel_bit_identical():
+    serial = run_queue_policy_ablation(duration=20.0, n_jobs=1)
+    parallel = run_queue_policy_ablation(duration=20.0, n_jobs=4)
+    assert serial == parallel
+    assert [r["policy"] for r in serial] == ["fcfs", "sjf", "eedf", "rare", "mqfq"]
+
+
+def test_litmus_parallel_bit_identical():
+    kwargs = dict(workloads=("two_size",), repeats=2)
+    assert run_litmus(TINY, n_jobs=1, **kwargs) == run_litmus(TINY, n_jobs=3, **kwargs)
+
+
+def test_lb_ablation_parallel_bit_identical():
+    kwargs = dict(bound_factors=(1.0, 1.5), duration=30.0)
+    assert run_lb_ablation(n_jobs=1, **kwargs) == run_lb_ablation(n_jobs=2, **kwargs)

@@ -356,3 +356,89 @@ def test_process_requires_generator():
     env = Environment()
     with pytest.raises(TypeError):
         env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_interrupt_large_fanin_detaches_all_waiters():
+    # Many processes wait on ONE shared event; interrupting them all must
+    # detach each waiter (tombstone swap) without disturbing the others.
+    env = Environment()
+    gate = env.event()
+    interrupted = []
+
+    def waiter(i):
+        try:
+            yield gate
+            interrupted.append((i, "resumed"))
+        except Interrupt as exc:
+            interrupted.append((i, exc.cause))
+
+    procs = [env.process(waiter(i)) for i in range(50)]
+
+    def interrupter():
+        yield env.timeout(1.0)
+        for k, p in enumerate(procs):
+            if k % 2 == 0:
+                p.interrupt(cause=k)
+
+    env.process(interrupter())
+    env.process(_release(env, gate))
+    env.run()
+    resumed = [i for i, tag in interrupted if tag == "resumed"]
+    hit = sorted(i for i, tag in interrupted if tag != "resumed")
+    assert hit == list(range(0, 50, 2))
+    assert sorted(resumed) == list(range(1, 50, 2))
+
+
+def _release(env, gate):
+    yield env.timeout(2.0)
+    gate.succeed()
+
+
+def test_failed_event_with_only_tombstoned_waiters_still_propagates():
+    # An interrupted process leaves a tombstone in the event's callback
+    # list; if the event later fails with nobody real waiting, the
+    # failure must still propagate out of run() (no silent failure).
+    env = Environment()
+    doomed = env.event()
+
+    def waiter():
+        try:
+            yield doomed
+        except Interrupt:
+            yield env.timeout(100.0)
+
+    proc = env.process(waiter())
+
+    def driver():
+        yield env.timeout(1.0)
+        proc.interrupt()
+        yield env.timeout(1.0)
+        doomed.fail(RuntimeError("orphan failure"))
+
+    env.process(driver())
+    with pytest.raises(RuntimeError, match="orphan failure"):
+        env.run()
+
+
+def test_interrupt_twice_is_idempotent_on_callbacks():
+    env = Environment()
+    causes = []
+
+    def waiter():
+        while True:
+            try:
+                yield env.timeout(100.0)
+                return
+            except Interrupt as exc:
+                causes.append(exc.cause)
+
+    proc = env.process(waiter())
+
+    def driver():
+        yield env.timeout(1.0)
+        proc.interrupt(cause="a")
+        proc.interrupt(cause="b")
+
+    env.process(driver())
+    env.run(until=50.0)
+    assert causes == ["a", "b"]
