@@ -1,0 +1,165 @@
+"""Invocation fast-path throughput and trace-cache benchmarks.
+
+This is the perf-trajectory benchmark for the control-plane hot path: it
+drives a large burst of warm invocations through a single null-backend
+worker and records simulator throughput (invocations simulated per wall
+second), the per-invocation kernel overhead for warm and cold paths, and
+the content-addressed trace cache's cold-vs-warm generation time.  All
+numbers land in ``BENCH_invoke_path.json`` at the repo root so every
+future PR can be compared against this one.
+
+``PRE_PR_TPUT`` is the throughput of the same harness measured on the
+commit before the fast-path work (pooled kernel events, waiter fast
+path, begin/end spans, batched jitter), interleaved A/B on the same
+machine; the acceptance bar for this PR is >= 1.5x that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+
+from repro import Environment, Worker, WorkerConfig
+from repro.experiments import make_traces
+from repro.workloads import lookbusy_function
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_invoke_path.json"
+
+# Throughput of this exact harness at the pre-PR commit (best of 5,
+# interleaved with post-PR runs on the same machine).
+PRE_PR_TPUT = 5906.7
+MIN_TPUT_SPEEDUP = 1.5
+
+# Warm trace generation must beat cold generation by at least this much.
+MIN_CACHE_SPEEDUP = 5.0
+
+N_INVOCATIONS = 4000
+N_COLD_FUNCTIONS = 400
+
+
+def _drive_warm(n: int = N_INVOCATIONS) -> float:
+    """Wall seconds to simulate ``n`` warm invocations on one worker."""
+    env = Environment()
+    worker = Worker(
+        env,
+        WorkerConfig(
+            cores=512,
+            memory_mb=262_144.0,
+            backend="null",
+            bypass_enabled=False,
+        ),
+    )
+    worker.start()
+    worker.register_sync(lookbusy_function("tp", run_time=0.01, memory_mb=64.0))
+    start = time.perf_counter()
+    events = [worker.async_invoke("tp.1") for _ in range(n)]
+    env.run(until=600.0)
+    elapsed = time.perf_counter() - start
+    worker.stop()
+    assert all(e.triggered and not e.value.dropped for e in events)
+    return elapsed
+
+
+def _drive_cold(n: int = N_COLD_FUNCTIONS) -> float:
+    """Wall seconds to simulate ``n`` cold starts (one per function)."""
+    env = Environment()
+    worker = Worker(
+        env,
+        WorkerConfig(
+            cores=512,
+            memory_mb=262_144.0,
+            backend="null",
+            bypass_enabled=False,
+        ),
+    )
+    worker.start()
+    for i in range(n):
+        worker.register_sync(
+            lookbusy_function(f"cold-{i}", run_time=0.01, memory_mb=64.0)
+        )
+    start = time.perf_counter()
+    events = [worker.async_invoke(f"cold-{i}.1") for i in range(n)]
+    env.run(until=600.0)
+    elapsed = time.perf_counter() - start
+    worker.stop()
+    assert all(e.triggered and not e.value.dropped for e in events)
+    assert all(e.value.cold for e in events)
+    return elapsed
+
+
+def _measure_cache(scale, cache_dir: Path) -> dict:
+    """Cold vs warm trace generation through the artifact cache."""
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    t0 = time.perf_counter()
+    cold_traces = make_traces(scale, cache=str(cache_dir))
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_traces = make_traces(scale, cache=str(cache_dir))
+    warm_s = time.perf_counter() - t0
+    for name in cold_traces:
+        assert (cold_traces[name].timestamps == warm_traces[name].timestamps).all()
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "scale": scale.name,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,
+    }
+
+
+def _measure(scale, cache_dir: Path) -> dict:
+    # Warm up the interpreter/allocator, then keep the best of 9: the
+    # throughput number is a property of the code, so the least-noisy
+    # sample is the right estimator on a shared machine.
+    _drive_warm(1000)
+    warm_elapsed = min(_drive_warm() for _ in range(9))
+    cold_elapsed = min(_drive_cold() for _ in range(3))
+    tput = N_INVOCATIONS / warm_elapsed
+    return {
+        "benchmark": "invocation fast path + trace cache",
+        "cpu_count": os.cpu_count(),
+        "invocations": N_INVOCATIONS,
+        "pre_pr_tput_inv_per_s": PRE_PR_TPUT,
+        "tput_inv_per_s": round(tput, 1),
+        "tput_speedup_vs_pre_pr": round(tput / PRE_PR_TPUT, 2),
+        "warm_overhead_us_per_invocation": round(
+            1e6 * warm_elapsed / N_INVOCATIONS, 2
+        ),
+        "cold_overhead_us_per_invocation": round(
+            1e6 * cold_elapsed / N_COLD_FUNCTIONS, 2
+        ),
+        "trace_cache": _measure_cache(scale, cache_dir),
+    }
+
+
+def test_invoke_path_throughput(benchmark, scale, artifact, tmp_path):
+    record = benchmark.pedantic(
+        lambda: _measure(scale, tmp_path / "cache"), rounds=1, iterations=1
+    )
+    record["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    cache = record["trace_cache"]
+    lines = [
+        f"Invocation fast path (cores={record['cpu_count']})",
+        f"  warm TPUT: {record['tput_inv_per_s']} inv/s "
+        f"({record['tput_speedup_vs_pre_pr']}x vs pre-PR "
+        f"{record['pre_pr_tput_inv_per_s']})",
+        f"  kernel overhead: warm {record['warm_overhead_us_per_invocation']} "
+        f"us/inv, cold {record['cold_overhead_us_per_invocation']} us/inv",
+        f"  trace cache ({cache['scale']}): cold {cache['cold_s']}s, "
+        f"warm {cache['warm_s']}s, {cache['speedup']}x",
+    ]
+    artifact("invoke_path", "\n".join(lines))
+    print(f"[written to {BENCH_PATH}]")
+
+    assert record["tput_speedup_vs_pre_pr"] >= MIN_TPUT_SPEEDUP, (
+        f"expected >= {MIN_TPUT_SPEEDUP}x the pre-PR throughput "
+        f"({PRE_PR_TPUT} inv/s), got {record['tput_speedup_vs_pre_pr']}x"
+    )
+    assert cache["speedup"] >= MIN_CACHE_SPEEDUP, (
+        f"expected warm trace generation >= {MIN_CACHE_SPEEDUP}x faster "
+        f"than cold, got {cache['speedup']}x"
+    )

@@ -56,11 +56,21 @@ def _measure(scale, shared_traces, jobs):
 def test_parallel_sweep_speedup(benchmark, scale, shared_traces, artifact):
     # At least 2 workers so the pool path is genuinely measured even on a
     # single-core runner (the speedup bar only arms at >= 4 cores).
-    jobs = max(2, min(4, os.cpu_count() or 1))
+    cores = os.cpu_count() or 1
+    jobs = max(2, min(4, cores))
     record = benchmark.pedantic(
         lambda: _measure(scale, shared_traces, jobs), rounds=1, iterations=1
     )
     record["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    if cores <= 2:
+        # A "speedup" measured on <= 2 cores is process-pool overhead, not
+        # parallel scaling — annotate so downstream tooling ignores it.
+        record["speedup_meaningful"] = False
+        record["speedup_note"] = (
+            f"only {cores} core(s): speedup not meaningful, assertion skipped"
+        )
+    else:
+        record["speedup_meaningful"] = True
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     lines = [f"Parallel sweep speedup (jobs={jobs}, cores={record['cpu_count']})"]
     for name, row in record["scales"].items():
@@ -68,10 +78,12 @@ def test_parallel_sweep_speedup(benchmark, scale, shared_traces, artifact):
             f"  {name}: {row['cells']} cells, serial {row['serial_s']}s, "
             f"parallel {row['parallel_s']}s, speedup {row['speedup']}x"
         )
+    if not record["speedup_meaningful"]:
+        lines.append(f"  note: {record['speedup_note']}")
     artifact("parallel_speedup", "\n".join(lines))
     print(f"[written to {BENCH_PATH}]")
 
-    if jobs >= 4:
+    if jobs >= 4 and record["speedup_meaningful"]:
         biggest = max(record["scales"],
                       key=lambda n: record["scales"][n]["cells"])
         assert record["scales"][biggest]["speedup"] >= MIN_SPEEDUP, (

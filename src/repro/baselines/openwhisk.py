@@ -23,6 +23,7 @@ exactly the comparison Figures 6 and 7 make.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Generator, Optional
 
 import numpy as np
@@ -34,6 +35,7 @@ from ..core.function import FunctionRegistration, Invocation
 from ..errors import DuplicateRegistration, FunctionNotRegistered
 from ..keepalive.policies import make_policy
 from ..metrics.registry import InvocationRecord, MetricsRegistry, Outcome
+from ..metrics.spans import SpanRecorder
 from ..sim.core import Environment, Event
 from ..sim.resources import Gauge
 from .components import ControllerModel, CouchDBModel, GCModel, KafkaModel, NginxModel
@@ -56,6 +58,10 @@ class OpenWhiskConfig:
     memory_wait_timeout: float = 2.0    # OW sheds quickly when memory-starved
     # CPU overcommitment: execution stretches when running > cores.
     enable_cpu_stretch: bool = True
+    # Pipeline-stage tracing (nginx/controller/kafka/couchdb spans).  Off
+    # by default: the baseline's published numbers need no breakdown, and
+    # a disabled recorder is a true no-op on the hot path.
+    tracing_enabled: bool = False
     seed: int = 7
 
     def __post_init__(self):
@@ -102,6 +108,9 @@ class OpenWhiskWorker:
 
         self.characteristics = CharacteristicsMap()
         self.metrics = MetricsRegistry(clock=lambda: env.now)
+        self.spans = SpanRecorder(
+            clock=partial(getattr, env, "now"), enabled=cfg.tracing_enabled
+        )
         self.registrations: dict[str, FunctionRegistration] = {}
         self.inflight = 0          # activations inside the pipeline
         self.executing = 0         # activations actually on-CPU
@@ -152,20 +161,27 @@ class OpenWhiskWorker:
             self._drop(inv, done, "activation buffer full")
             return
 
+        spans = self.spans
         self.inflight += 1
         try:
             # Front end.
+            handle = spans.begin("nginx")
             yield self.env.timeout(self.nginx.latency(self.rng))
+            spans.end(handle)
             yield from self.gc.stall()
+            handle = spans.begin("controller")
             yield self.env.timeout(self.controller.latency(self.rng, self.inflight))
+            spans.end(handle)
 
             # Shared Kafka queue (controller -> invoker).
             self.kafka_backlog += 1
+            handle = spans.begin("kafka")
             try:
                 yield self.env.timeout(
                     self.kafka.latency(self.rng, self.kafka_backlog)
                 )
             finally:
+                spans.end(handle)
                 self.kafka_backlog -= 1
             yield from self.gc.stall()
 
@@ -181,6 +197,7 @@ class OpenWhiskWorker:
                     self._drop(inv, done, "insufficient memory")
                     return
                 # Docker container create (no namespace pool, no reuse).
+                handle = spans.begin("container_create", tag=fqdn)
                 create = cfg.container_create_mean
                 yield self.env.timeout(
                     create + float(self.rng.exponential(0.15 * create))
@@ -188,6 +205,7 @@ class OpenWhiskWorker:
                 container = yield self.env.process(
                     self.backend.create(inv.function)
                 )
+                spans.end(handle)
                 entry = self.pool.add_in_use(
                     container, init_cost=inv.function.init_time
                 )
@@ -218,9 +236,11 @@ class OpenWhiskWorker:
 
             # Result logging: CouchDB write on the critical path.
             yield from self.gc.stall()
+            handle = spans.begin("couchdb")
             yield self.env.timeout(
                 self.couchdb.write_latency(self.rng, self.inflight)
             )
+            spans.end(handle)
 
             inv.completed_at = self.env.now
             self.characteristics.record_execution(fqdn, base_exec, inv.cold)

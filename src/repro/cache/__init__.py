@@ -1,0 +1,19 @@
+"""Content-addressed artifact cache for expensive experiment inputs."""
+
+from .store import (
+    CACHE_CODE_VERSION,
+    CACHE_ENV_VAR,
+    ArtifactCache,
+    CacheLike,
+    cache_key,
+    resolve_cache,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheLike",
+    "cache_key",
+    "resolve_cache",
+    "CACHE_ENV_VAR",
+    "CACHE_CODE_VERSION",
+]

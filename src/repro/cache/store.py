@@ -1,0 +1,149 @@
+"""Content-addressed on-disk artifact cache.
+
+Experiment inputs — generated Azure-like datasets, trace samples,
+minute-bucket expansions — are pure functions of their generator
+parameters and seeds, yet every sweep cell historically regenerated them
+from scratch.  This cache keys each artifact by a SHA-256 over its
+parameters, seeds, and the generator code version, and stores the pickled
+result on disk; a warm cache turns trace generation into a single read.
+
+Correctness rules:
+
+* Keys include a per-artifact-kind code version (bumped whenever the
+  generating logic changes) and the numpy version (RNG streams are only
+  guaranteed stable within a numpy version), so stale artifacts can never
+  be returned for new code.
+* Values are pickled verbatim — numpy arrays round-trip bit-exactly, so
+  results are bit-identical with the cache on or off.
+* Writes are atomic (temp file + ``os.replace``); concurrent writers of
+  the same key simply race to an identical artifact.
+* Unreadable/corrupt entries count as misses and are regenerated.
+
+The ambient default cache directory comes from the ``REPRO_CACHE``
+environment variable (also set by the CLI's ``--cache-dir``); with the
+variable unset and no explicit cache, caching is off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "ArtifactCache",
+    "CacheLike",
+    "cache_key",
+    "resolve_cache",
+    "CACHE_ENV_VAR",
+    "CACHE_CODE_VERSION",
+]
+
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+# Global cache-format version: bump to invalidate every cached artifact
+# (e.g. if the pickle layout of Trace/AzureDataset changes).
+CACHE_CODE_VERSION = 1
+
+
+def cache_key(kind: str, params: Any, code_version: int = 0) -> str:
+    """Content key for an artifact: SHA-256 over a canonical description.
+
+    ``params`` must have a deterministic ``repr`` (primitives, tuples,
+    frozen dataclasses of primitives...).  Dicts are canonicalized by
+    sorted key.  The numpy version is folded in because generated
+    artifacts embed numpy RNG output.
+    """
+    if isinstance(params, dict):
+        params = tuple(sorted(params.items()))
+    canonical = repr(
+        (kind, int(code_version), CACHE_CODE_VERSION, np.__version__, params)
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A directory of pickled artifacts addressed by content key."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small at scale.
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, artifact)`` on a hit, ``(False, None)`` otherwise."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # Missing, unreadable, or stale-format entries are misses.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically store ``value`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_create(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Return the cached artifact, creating and storing it on a miss."""
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArtifactCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+CacheLike = Union[None, bool, str, Path, ArtifactCache]
+
+
+def resolve_cache(cache: CacheLike = None) -> Optional[ArtifactCache]:
+    """Normalize a cache argument to an :class:`ArtifactCache` or ``None``.
+
+    * an ``ArtifactCache`` → itself;
+    * a path (``str``/``Path``) → a cache rooted there;
+    * ``None`` → the ambient default: ``$REPRO_CACHE`` if set, else off;
+    * ``False`` → caching explicitly off, ignoring the environment.
+    """
+    if cache is False:
+        return None
+    if isinstance(cache, ArtifactCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ArtifactCache(cache)
+    if cache is None:
+        ambient = os.environ.get(CACHE_ENV_VAR)
+        if ambient:
+            return ArtifactCache(ambient)
+        return None
+    raise TypeError(f"unsupported cache argument: {cache!r}")

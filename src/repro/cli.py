@@ -19,8 +19,11 @@ default; results are identical at any job count).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
+
+from .cache import CACHE_ENV_VAR
 
 from .experiments import (
     FULL,
@@ -68,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for sweep commands (default: $REPRO_JOBS "
              "or 1 = serial; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed artifact cache for generated traces "
+             "(default: $REPRO_CACHE if set, else no caching); results "
+             "are bit-identical with or without the cache",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -118,6 +129,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         resolve_jobs(args.jobs)
     except ValueError as exc:  # e.g. REPRO_JOBS=banana
         parser.error(str(exc))
+    if args.cache_dir:
+        # Exported (not passed) so parallel worker processes inherit it.
+        os.environ[CACHE_ENV_VAR] = args.cache_dir
     scale = _SCALES[args.scale]
     out = []
 

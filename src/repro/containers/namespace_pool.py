@@ -54,6 +54,9 @@ class NamespacePool:
         self.hits = 0
         self.misses = 0
         self._running = False
+        # Pending idle wakeup: set while the refiller sleeps on a full
+        # pool, succeeded by acquire() when the pool dips below target.
+        self._wakeup = None
         if enabled and target_size > 0:
             # Pool starts full: worker startup pre-creates namespaces.
             self._free = [self._new_name() for _ in range(self.target_size)]
@@ -71,7 +74,12 @@ class NamespacePool:
             self.misses += 1
             return None
         self.hits += 1
-        return self._free.pop()
+        namespace = self._free.pop()
+        wakeup = self._wakeup
+        if wakeup is not None and len(self._free) < self.target_size:
+            self._wakeup = None
+            wakeup.succeed()
+        return namespace
 
     def release(self, namespace: str) -> None:
         """Return a namespace after its container is destroyed."""
@@ -83,15 +91,42 @@ class NamespacePool:
         return self.create_latency
 
     def refiller(self) -> Generator:
-        """Background process: top the pool back up off the critical path."""
+        """Background process: top the pool back up off the critical path.
+
+        Conceptually this polls the pool every ``refill_interval``.  To keep
+        the event calendar free of idle churn (a full pool would otherwise
+        cost 100 events/simulated-second), the idle phase is event-driven:
+        the refiller sleeps until :meth:`acquire` dips the pool, then
+        resumes on the exact polling-grid tick the literal polling loop
+        would have used — the tick times are replayed with the same
+        floating-point accumulation, so simulation results are bit-identical
+        to the polling implementation.
+        """
         self._running = True
+        env = self.env
         while self._running:
             if self.enabled and len(self._free) < self.target_size:
-                yield self.env.timeout(self.create_latency)
+                yield env.timeout(self.create_latency)
                 if len(self._free) < self.target_size:
                     self._free.append(self._new_name())
             else:
-                yield self.env.timeout(self.refill_interval)
+                anchor = env.now
+                self._wakeup = wakeup = env.event()
+                yield wakeup
+                self._wakeup = None
+                if not self._running:
+                    break
+                # First polling tick strictly after the dip, accumulated
+                # from the idle anchor exactly as the polling loop would.
+                tick = anchor
+                now = env.now
+                while tick <= now:
+                    tick += self.refill_interval
+                yield env.timeout_at(tick)
 
     def stop(self) -> None:
         self._running = False
+        wakeup = self._wakeup
+        if wakeup is not None:
+            self._wakeup = None
+            wakeup.succeed()

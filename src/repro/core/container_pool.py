@@ -97,6 +97,11 @@ class ContainerPool:
         self.free_buffer_mb = float(free_buffer_mb)
         self.eviction_interval = float(eviction_interval)
         self._available: dict[str, list[PoolEntry]] = {}
+        # Lower bound on the earliest expiry among a function's available
+        # entries: lets try_acquire skip the expiry scan entirely when
+        # nothing can be expired (the common case — work-conserving
+        # policies never expire, so the bound is +inf).
+        self._min_expiry: dict[str, float] = {}
         self._in_use: set[PoolEntry] = set()
         self._evict_heap: list[tuple[float, int, int, PoolEntry]] = []
         self._seq = 0
@@ -114,10 +119,13 @@ class ContainerPool:
         return len(self._in_use)
 
     def has_available(self, fqdn: str) -> bool:
+        entries = self._available.get(fqdn)
+        if not entries:
+            return False
         now = self.env.now
-        return any(
-            e.expires_at > now for e in self._available.get(fqdn, ())
-        )
+        if self._min_expiry.get(fqdn, 0.0) > now:
+            return True
+        return any(e.expires_at > now for e in entries)
 
     # -- acquire / return ------------------------------------------------
     def try_acquire(self, fqdn: str) -> Optional[PoolEntry]:
@@ -126,20 +134,33 @@ class ContainerPool:
         entries = self._available.get(fqdn)
         if not entries:
             return None
-        chosen: Optional[PoolEntry] = None
-        expired: list[PoolEntry] = []
-        for e in entries:
-            if e.expires_at <= now:
-                expired.append(e)
-            elif chosen is None:
-                chosen = e
-        for e in expired:
-            self._evict_entry(e, expired_eviction=True)
-        if chosen is None:
-            return None
-        entries.remove(chosen)
-        if not entries:
-            self._available.pop(fqdn, None)
+        if self._min_expiry.get(fqdn, 0.0) > now:
+            # Nothing can be expired: first entry is the scan's pick.
+            chosen = entries.pop(0)
+            if not entries:
+                self._available.pop(fqdn, None)
+                self._min_expiry.pop(fqdn, None)
+        else:
+            chosen = None
+            expired: list[PoolEntry] = []
+            for e in entries:
+                if e.expires_at <= now:
+                    expired.append(e)
+                elif chosen is None:
+                    chosen = e
+            for e in expired:
+                self._evict_entry(e, expired_eviction=True)
+            remaining = self._available.get(fqdn)
+            if chosen is None:
+                if remaining:
+                    self._min_expiry[fqdn] = min(e.expires_at for e in remaining)
+                return None
+            remaining.remove(chosen)
+            if remaining:
+                self._min_expiry[fqdn] = min(e.expires_at for e in remaining)
+            else:
+                self._available.pop(fqdn, None)
+                self._min_expiry.pop(fqdn, None)
         chosen.in_use = True
         self._in_use.add(chosen)
         self.policy.on_access(chosen, now)
@@ -168,6 +189,9 @@ class ContainerPool:
         entry.expires_at = self.policy.expiry_time(entry)
         entry.priority = self.policy.priority(entry, self.env.now)
         self._available.setdefault(entry.fqdn, []).append(entry)
+        bound = self._min_expiry.get(entry.fqdn)
+        if bound is None or entry.expires_at < bound:
+            self._min_expiry[entry.fqdn] = entry.expires_at
         self._push_heap(entry)
 
     def discard_in_use(self, entry: PoolEntry) -> Generator:
@@ -199,6 +223,7 @@ class ContainerPool:
             entries.remove(entry)
             if not entries:
                 self._available.pop(entry.fqdn, None)
+                self._min_expiry.pop(entry.fqdn, None)
         entry.evicted = True
         entry.stamp += 1
         self.evictions += 1

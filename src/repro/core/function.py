@@ -44,6 +44,9 @@ class FunctionRegistration:
     def __post_init__(self):
         if not self.name:
             raise ValueError("function name must be non-empty")
+        # fqdn() sits on the per-invocation path several times over; the
+        # registration is frozen, so compute it once.
+        object.__setattr__(self, "_fqdn", f"{self.name}.{self.version}")
         if self.memory_mb <= 0:
             raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
         if self.cpus <= 0:
@@ -65,10 +68,10 @@ class FunctionRegistration:
 
     def fqdn(self) -> str:
         """Fully qualified name (name + version), the pool/cache key."""
-        return f"{self.name}.{self.version}"
+        return self._fqdn
 
 
-@dataclass
+@dataclass(slots=True)
 class Invocation:
     """One request travelling through the control plane."""
 

@@ -16,6 +16,7 @@ actual control flow.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Generator, Optional
 
 import numpy as np
@@ -65,14 +66,21 @@ class Worker:
         self.image_registry = registry or ImageRegistry(env)
 
         self.characteristics = CharacteristicsMap()
-        self.metrics = MetricsRegistry(clock=lambda: env.now)
-        self.spans = SpanRecorder(clock=lambda: env.now)
+        # partial(getattr, env, "now") is a C-level clock callable — no
+        # Python frame per sample, and these clocks fire many times per
+        # invocation (spans tick twice per component).
+        clock = partial(getattr, env, "now")
+        self.metrics = MetricsRegistry(clock=clock)
+        self.spans = SpanRecorder(clock=clock, enabled=cfg.tracing_enabled)
         # Simulated RAPL: integrates a linear power model over busy cores
         # (Section 5.1's self-contained system monitoring).
-        self.energy = EnergyMonitor(clock=lambda: env.now)
+        self.energy = EnergyMonitor(clock=clock)
 
         self.memory = Gauge(env, capacity=cfg.memory_mb)
         self.keepalive_policy = make_policy(cfg.keepalive_policy)
+        self._histogram_keepalive = isinstance(
+            self.keepalive_policy, HistogramPolicy
+        )
         self.pool = ContainerPool(
             env,
             self.backend,
@@ -109,27 +117,34 @@ class Worker:
         self.snapshots = SnapshotStore(enabled=cfg.snapshots_enabled)
 
         self.registrations: dict[str, FunctionRegistration] = {}
-        self.results = ResultStore(clock=lambda: env.now)
+        self.results = ResultStore(clock=partial(getattr, env, "now"))
         self._started = False
         self.dropped = 0
         self.timeouts = 0
+        # Jitter draws are batched: standard exponentials are drawn 256 at
+        # a time and scaled per use, which is bit-identical to per-call
+        # rng.exponential(scale) (numpy computes standard_exp * scale from
+        # the same stream) at a fraction of the per-draw cost.  Safe only
+        # because self.rng has no other consumer.
+        self._jitter_fraction = self.config.latency.jitter_fraction
+        self._jitter_buf: list[float] = []
+        self._jitter_i = 0
 
     # ------------------------------------------------------------------ util
     def _lat(self, base: float) -> float:
         """One control-plane component latency: base + exponential tail."""
-        frac = self.config.latency.jitter_fraction
         if base <= 0:
             return 0.0
+        frac = self._jitter_fraction
         if frac <= 0:
             return base
-        return base + float(self.rng.exponential(frac * base))
-
-    def _spend(self, span_name: str, base: float) -> Generator:
-        """Spend and record one component latency."""
-        cost = self._lat(base)
-        if cost > 0:
-            yield self.env.timeout(cost)
-        self.spans.record(span_name, cost)
+        i = self._jitter_i
+        buf = self._jitter_buf
+        if i >= len(buf):
+            buf = self._jitter_buf = self.rng.standard_exponential(256).tolist()
+            i = 0
+        self._jitter_i = i + 1
+        return base + frac * base * buf[i]
 
     # ------------------------------------------------------------------ life
     def start(self) -> None:
@@ -218,13 +233,32 @@ class Worker:
 
     # ------------------------------------------------------------- pipeline
     def _ingest(self, inv: Invocation, done: Event) -> Generator:
-        """Ingestion: API handling, bypass decision, enqueue."""
-        yield from self._spend("invoke", self.config.latency.invoke)
-        yield from self._spend("sync_invoke", self.config.latency.sync_invoke)
+        """Ingestion: API handling, bypass decision, enqueue.
+
+        Component latencies are spent inline with paired span begin/end —
+        a contextmanager (or a ``_spend`` sub-generator) here costs an
+        allocation per component per invocation.
+        """
+        env = self.env
+        spans = self.spans
+        lat = self.config.latency
+
+        handle = spans.begin("invoke")
+        cost = self._lat(lat.invoke)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+
+        handle = spans.begin("sync_invoke")
+        cost = self._lat(lat.sync_invoke)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+
         fqdn = inv.function.fqdn()
-        self.characteristics.record_arrival(fqdn, self.env.now)
-        if isinstance(self.keepalive_policy, HistogramPolicy):
-            self.keepalive_policy.record_arrival(fqdn, self.env.now)
+        self.characteristics.record_arrival(fqdn, env.now)
+        if self._histogram_keepalive:
+            self.keepalive_policy.record_arrival(fqdn, env.now)
 
         warm_available = self.pool.has_available(fqdn)
         if self.bypass.should_bypass(inv, warm_available):
@@ -233,12 +267,20 @@ class Worker:
             yield from self._execute(inv, done, token=None)
             return
 
-        yield from self._spend(
-            "enqueue_invocation", self.config.latency.enqueue_invocation
-        )
+        handle = spans.begin("enqueue_invocation")
+        cost = self._lat(lat.enqueue_invocation)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+
         priority = self.queue_policy.priority(inv, warm_available)
-        inv.enqueued_at = self.env.now
-        yield from self._spend("add_item_to_q", self.config.latency.add_item_to_q)
+        inv.enqueued_at = env.now
+
+        handle = spans.begin("add_item_to_q")
+        cost = self._lat(lat.add_item_to_q)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
         # Admission check at the moment of insertion, so concurrent
         # ingests observe the queue they are actually joining.
         if (
@@ -263,26 +305,48 @@ class Worker:
             )
 
     def _handle(self, inv: Invocation, done: Event, token) -> Generator:
-        yield from self._spend("dequeue", self.config.latency.dequeue)
-        yield from self._spend("spawn_worker", self.config.latency.spawn_worker)
+        env = self.env
+        spans = self.spans
+        lat = self.config.latency
+
+        handle = spans.begin("dequeue")
+        cost = self._lat(lat.dequeue)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+
+        handle = spans.begin("spawn_worker")
+        cost = self._lat(lat.spawn_worker)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+
         yield from self._execute(inv, done, token)
 
     def _execute(self, inv: Invocation, done: Event, token) -> Generator:
         """Acquire a container, run the function, return everything."""
         cfg = self.config
+        env = self.env
+        spans = self.spans
+        lat = cfg.latency
         fqdn = inv.function.fqdn()
         self.load.on_start()
-        self.energy.update(min(self.load.running, self.config.cores))
+        self.energy.update(min(self.load.running, cfg.cores))
         entry = None
         try:
-            yield from self._spend(
-                "acquire_container", cfg.latency.acquire_container
-            )
+            handle = spans.begin("acquire_container")
+            cost = self._lat(lat.acquire_container)
+            if cost > 0:
+                yield env.timeout(cost)
+            spans.end(handle)
+
             entry = self.pool.try_acquire(fqdn)
             if entry is not None:
-                yield from self._spend(
-                    "try_lock_container", cfg.latency.try_lock_container
-                )
+                handle = spans.begin("try_lock_container")
+                cost = self._lat(lat.try_lock_container)
+                if cost > 0:
+                    yield env.timeout(cost)
+                spans.end(handle)
                 inv.cold = False
             else:
                 inv.cold = True
@@ -293,11 +357,16 @@ class Worker:
                 entry = yield from self._cold_create(inv.function)
 
             # Talk to the agent.
-            yield from self._spend("prepare_invoke", cfg.latency.prepare_invoke)
+            handle = spans.begin("prepare_invoke")
+            cost = self._lat(lat.prepare_invoke)
+            if cost > 0:
+                yield env.timeout(cost)
+            spans.end(handle)
+
             conn_cost = self.http_clients.connection_cost(entry.container.id)
             if conn_cost > 0:
-                yield self.env.timeout(conn_cost)
-                self.spans.record("http_client_create", conn_cost)
+                yield env.timeout(conn_cost)
+                spans.record("http_client_create", conn_cost)
 
             exec_time = (
                 self._cold_exec_time(inv.function)
@@ -325,18 +394,33 @@ class Worker:
                 yield invoke_proc
             inv.exec_finished_at = inv.exec_started_at + exec_time
             # call_container span is the HTTP overhead around execution.
-            self.spans.record(
-                "call_container", max(self.env.now - call_start - exec_time, 0.0)
+            spans.record(
+                "call_container", max(env.now - call_start - exec_time, 0.0)
             )
-            yield from self._spend("download_result", cfg.latency.download_result)
+
+            handle = spans.begin("download_result")
+            cost = self._lat(lat.download_result)
+            if cost > 0:
+                yield env.timeout(cost)
+            spans.end(handle)
 
             # Return the container to the pool and the results to the caller.
-            yield from self._spend("return_container", cfg.latency.return_container)
+            handle = spans.begin("return_container")
+            cost = self._lat(lat.return_container)
+            if cost > 0:
+                yield env.timeout(cost)
+            spans.end(handle)
+
             self.pool.return_entry(entry)
             entry = None
-            yield from self._spend("return_results", cfg.latency.return_results)
 
-            inv.completed_at = self.env.now
+            handle = spans.begin("return_results")
+            cost = self._lat(lat.return_results)
+            if cost > 0:
+                yield env.timeout(cost)
+            spans.end(handle)
+
+            inv.completed_at = env.now
             self.characteristics.record_execution(fqdn, exec_time, inv.cold)
             self.metrics.record_invocation(
                 InvocationRecord(

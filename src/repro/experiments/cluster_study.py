@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..cache import CacheLike
 from ..core.config import WorkerConfig
 from ..core.function import FunctionRegistration
 from ..loadbalancer.cluster import Cluster
@@ -80,6 +81,7 @@ def run_cluster_study(
     target_load_fraction: float = 0.6,
     duration_cap: float = 1800.0,
     lb_policy: str = "ch_bl",
+    cache: CacheLike = None,
 ) -> ClusterStudyResult:
     """Replay (a clip of) the representative trace on a cluster.
 
@@ -89,7 +91,7 @@ def run_cluster_study(
     if not 0 < target_load_fraction:
         raise ValueError("target_load_fraction must be positive")
     if trace is None:
-        trace = make_traces(scale)["representative"]
+        trace = make_traces(scale, cache=cache)["representative"]
     if trace.duration > duration_cap:
         trace = trace.clipped(duration_cap, name=f"{trace.name}-study")
     trace = map_trace_to_catalog(trace)
@@ -154,6 +156,7 @@ def run_cluster_lb_sweep(
     target_load_fraction: float = 0.6,
     duration_cap: float = 1800.0,
     n_jobs: Optional[int] = None,
+    cache: CacheLike = None,
 ) -> list[dict]:
     """The full-stack study repeated per LB policy, one process per run.
 
@@ -163,7 +166,7 @@ def run_cluster_lb_sweep(
     order.
     """
     if trace is None:
-        trace = make_traces(scale)["representative"]
+        trace = make_traces(scale, cache=cache)["representative"]
     cells = [
         (policy, num_workers, cores_per_worker, memory_per_worker_mb,
          target_load_fraction, duration_cap)

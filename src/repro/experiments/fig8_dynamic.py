@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..cache import CacheLike
 from ..keepalive.policies import make_policy
 from ..keepalive.simulator import KeepAliveResult, KeepAliveSimulator
 from ..provisioning.controller import MissSpeedController, ProvisioningConfig
@@ -56,10 +57,11 @@ def run_fig8(
     trace: Optional[Trace] = None,
     config: Optional[ProvisioningConfig] = None,
     policy: str = "GD",
+    cache: CacheLike = None,
 ) -> DynamicSizingOutcome:
     """Replay the representative trace under dynamic cache sizing."""
     if trace is None:
-        trace = make_traces(scale)["representative"]
+        trace = make_traces(scale, cache=cache)["representative"]
     if config is None:
         # Calibrate the target to this trace: measure the miss speed the
         # conservative static provision actually delivers, then target a

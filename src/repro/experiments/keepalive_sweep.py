@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..cache import CacheLike
 from ..keepalive.policies import POLICY_NAMES
 from ..keepalive.simulator import KeepAliveResult
 from ..parallel.pool import run_parallel
@@ -30,20 +31,27 @@ from .defaults import MEDIUM, Scale
 __all__ = ["make_traces", "run_keepalive_sweep", "fig4_rows", "fig5_rows"]
 
 
-def make_traces(scale: Scale = MEDIUM) -> dict[str, Trace]:
-    """The three paper evaluation traces at the requested scale."""
+def make_traces(scale: Scale = MEDIUM, cache: CacheLike = None) -> dict[str, Trace]:
+    """The three paper evaluation traces at the requested scale.
+
+    ``cache`` memoizes both the generated dataset and the expanded trace
+    samples on disk (defaults to ``$REPRO_CACHE`` when set); a warm cache
+    skips generation entirely and is bit-identical to a cold run.
+    """
     dataset = generate_dataset(
         AzureTraceConfig(
             num_functions=scale.dataset_functions,
             duration_minutes=scale.dataset_minutes,
             seed=scale.seed,
-        )
+        ),
+        cache=cache,
     )
     return standard_samples(
         dataset,
         rare_n=scale.rare_n,
         representative_n=scale.representative_n,
         random_n=scale.random_n,
+        cache=cache,
     )
 
 
@@ -52,6 +60,7 @@ def run_keepalive_sweep(
     policies: Sequence[str] = POLICY_NAMES,
     traces: Optional[dict[str, Trace]] = None,
     n_jobs: Optional[int] = None,
+    cache: CacheLike = None,
 ) -> list[tuple[str, KeepAliveResult]]:
     """(trace_name, result) for every trace x policy x cache size.
 
@@ -61,7 +70,7 @@ def run_keepalive_sweep(
     worker once via the pool initializer, and results come back in grid
     order — identical rows and ordering at any ``n_jobs``.
     """
-    traces = traces if traces is not None else make_traces(scale)
+    traces = traces if traces is not None else make_traces(scale, cache=cache)
     cells = [
         (trace_name, policy, size_gb * 1024.0)
         for trace_name in traces

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..cache import CacheLike
 from ..trace.analysis import invocations_per_minute, invocations_per_second
 from ..trace.model import Trace
 from ..trace.replay import expand_dataset
@@ -30,9 +31,9 @@ PAPER_TABLE3 = [
 ]
 
 
-def table3_rows(scale: Scale = MEDIUM) -> list[dict]:
+def table3_rows(scale: Scale = MEDIUM, cache: CacheLike = None) -> list[dict]:
     """Our trace-sample statistics in the paper's Table 3 shape."""
-    traces = make_traces(scale)
+    traces = make_traces(scale, cache=cache)
     rows = []
     for name in ("representative", "rare", "random"):
         rows.append(traces[name].stats_row())
@@ -44,7 +45,9 @@ def table4_rows() -> list[dict]:
     return catalog_table()
 
 
-def appendix_timeseries(scale: Scale = MEDIUM, bin_seconds: float = 60.0) -> dict[str, np.ndarray]:
+def appendix_timeseries(
+    scale: Scale = MEDIUM, bin_seconds: float = 60.0, cache: CacheLike = None
+) -> dict[str, np.ndarray]:
     """Invocations/sec (binned) for the full trace and the three samples —
     the appendix figures.  Keys: full, representative, rare, random."""
     dataset = generate_dataset(
@@ -52,11 +55,12 @@ def appendix_timeseries(scale: Scale = MEDIUM, bin_seconds: float = 60.0) -> dic
             num_functions=scale.dataset_functions,
             duration_minutes=scale.dataset_minutes,
             seed=scale.seed,
-        )
+        ),
+        cache=cache,
     )
-    full = expand_dataset(dataset, name="full")
+    full = expand_dataset(dataset, name="full", cache=cache)
     traces: dict[str, Trace] = {"full": full}
-    traces.update(make_traces(scale))
+    traces.update(make_traces(scale, cache=cache))
     out = {}
     for name, trace in traces.items():
         if bin_seconds == 60.0:

@@ -8,12 +8,14 @@ Registrations are broadcast to every worker; placement is per-invocation.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
 from ..core.config import WorkerConfig
 from ..core.function import FunctionRegistration
 from ..core.worker import Worker
 from ..errors import FunctionNotRegistered
+from ..metrics.spans import SpanRecorder
 from ..sim.core import Environment, Event
 from .chbl import BoundedLoadBalancer
 from .policies import StatusBoard, make_balancer
@@ -62,6 +64,11 @@ class Cluster:
         self.rpc_latency = float(rpc_latency)
         self.registrations: dict[str, FunctionRegistration] = {}
         self.placements = 0
+        # LB-level spans (placement decisions, RPC hops) share the workers'
+        # tracing switch; disabled they cost nothing on the pick path.
+        self.spans = SpanRecorder(
+            clock=partial(getattr, env, "now"), enabled=base.tracing_enabled
+        )
 
     def _worker_load(self, name: str) -> float:
         w = self.workers[name]
@@ -87,7 +94,10 @@ class Cluster:
     def async_invoke(self, fqdn: str, args=None) -> Event:
         if fqdn not in self.registrations:
             raise FunctionNotRegistered(fqdn)
+        spans = self.spans
+        handle = spans.begin("lb_pick", tag=fqdn)
         target = self.balancer.pick(fqdn)
+        spans.end(handle)
         self.placements += 1
         worker = self.workers[target]
         if self.rpc_latency <= 0:
@@ -96,7 +106,9 @@ class Cluster:
         done = self.env.event()
 
         def forward():
+            rpc = spans.begin("lb_rpc", tag=target)
             yield self.env.timeout(self.rpc_latency)
+            spans.end(rpc)
             inner = worker.async_invoke(fqdn, args)
             inv = yield inner
             done.succeed(inv)

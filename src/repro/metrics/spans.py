@@ -5,6 +5,17 @@ Every worker component wraps its work in a named span; spans record the
 simulated (or wall-clock) duration and are grouped by name.  Table 2 of the
 paper — the per-component latency breakdown of a single warm invocation —
 is regenerated directly from these spans.
+
+Two recording APIs exist:
+
+* ``with recorder.span("name"):`` — the ergonomic context manager, for
+  call sites off the hot path.
+* ``handle = recorder.begin("name")`` / ``recorder.end(handle)`` — the
+  fast-path pair.  Handles are pooled and reused, so steady-state
+  recording allocates nothing; when the recorder is disabled ``begin``
+  returns ``None`` and ``end(None)`` returns immediately, making a
+  disabled recorder a true no-op (the Ilúvatar design point: tracing must
+  cost nothing when it is off).
 """
 
 from __future__ import annotations
@@ -52,6 +63,22 @@ class Span:
         return self.end - self.start
 
 
+class _SpanHandle:
+    """An open span returned by :meth:`SpanRecorder.begin`.
+
+    Mutable and pooled: after :meth:`SpanRecorder.end` the handle goes back
+    to the recorder's free list for reuse, so ``name`` is nulled to catch
+    double-``end``.
+    """
+
+    __slots__ = ("name", "start", "tag")
+
+    def __init__(self, name: str, start: float, tag: Optional[str]):
+        self.name = name
+        self.start = start
+        self.tag = tag
+
+
 @dataclass
 class SpanRecorder:
     """Collects spans; ``clock`` supplies the current time.
@@ -65,21 +92,57 @@ class SpanRecorder:
     _durations: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
     _spans: list[Span] = field(default_factory=list)
     keep_spans: bool = False
+    _handle_pool: list[_SpanHandle] = field(default_factory=list, repr=False)
+
+    # -- recording ---------------------------------------------------------
+    def begin(self, name: str, tag: Optional[str] = None) -> Optional[_SpanHandle]:
+        """Open a span; returns a handle to pass to :meth:`end`.
+
+        Returns ``None`` when the recorder is disabled — the caller passes
+        it straight back to ``end``, which makes the disabled pair two
+        attribute loads and two calls, with zero allocation.
+        """
+        if not self.enabled:
+            return None
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.name = name
+            handle.start = self.clock()
+            handle.tag = tag
+            return handle
+        return _SpanHandle(name, self.clock(), tag)
+
+    def end(self, handle: Optional[_SpanHandle]) -> None:
+        """Close a span opened by :meth:`begin` and record its duration."""
+        if handle is None:
+            return
+        name = handle.name
+        if name is None:
+            raise ValueError("span handle already ended (double end())")
+        now = self.clock()
+        self._durations[name].append(now - handle.start)
+        if self.keep_spans:
+            self._spans.append(
+                Span(name=name, start=handle.start, end=now, tag=handle.tag)
+            )
+        handle.name = None  # poison against double-end
+        pool = self._handle_pool
+        if len(pool) < 64:
+            pool.append(handle)
 
     @contextmanager
     def span(self, name: str, tag: Optional[str] = None) -> Iterator[None]:
-        """Context manager timing a component by the recorder's clock."""
-        if not self.enabled:
-            yield
-            return
-        start = self.clock()
+        """Context manager timing a component by the recorder's clock.
+
+        Implemented on the begin/end pair; prefer begin/end directly on
+        hot paths (a contextmanager costs a generator per use).
+        """
+        handle = self.begin(name, tag)
         try:
             yield
         finally:
-            end = self.clock()
-            self._durations[name].append(end - start)
-            if self.keep_spans:
-                self._spans.append(Span(name=name, start=start, end=end, tag=tag))
+            self.end(handle)
 
     def record(self, name: str, duration: float, tag: Optional[str] = None) -> None:
         """Record an externally measured duration under ``name``."""
@@ -147,15 +210,20 @@ class SpanRecorder:
         fine-grained logging the paper's ``tracing`` instrumentation
         provides for offline analysis.  Requires ``keep_spans``.
         Returns the number of spans written."""
+        if not self.keep_spans:
+            raise ValueError(
+                "dump_jsonl requires keep_spans=True; this recorder only "
+                "aggregated durations, so there are no spans to write"
+            )
         spans = self._spans
+        dumps = json.dumps
+        lines = [
+            dumps({"name": s.name, "start": s.start, "end": s.end, "tag": s.tag})
+            for s in spans
+        ]
+        lines.append("")  # trailing newline
         with open(path, "w") as fh:
-            for span in spans:
-                fh.write(json.dumps({
-                    "name": span.name,
-                    "start": span.start,
-                    "end": span.end,
-                    "tag": span.tag,
-                }) + "\n")
+            fh.write("\n".join(lines))
         return len(spans)
 
 

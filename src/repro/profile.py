@@ -1,0 +1,100 @@
+"""cProfile harness for the repro CLI and arbitrary callables.
+
+Usage, mirroring ``python -m repro`` exactly::
+
+    python -m repro.profile table2 --scale small
+    python -m repro.profile --profile-sort tottime --profile-top 40 fig4
+
+Everything after the ``--profile-*`` options is handed to
+:func:`repro.cli.main` unchanged, so any experiment command can be
+profiled without modification.  The stats table prints to stderr after
+the command's own output; ``--profile-out`` additionally saves the raw
+stats for ``snakeviz``/``pstats`` consumption.
+
+For library use, :func:`profile_call` wraps a single callable and
+returns its result alongside the :class:`pstats.Stats`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["profile_call", "main"]
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    sort: str = "cumulative",
+    top: int = 30,
+    stream=None,
+    **kwargs: Any,
+) -> tuple[Any, pstats.Stats]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, stats)`` and prints the top ``top`` entries sorted
+    by ``sort`` to ``stream`` (stderr by default; pass ``top=0`` to print
+    nothing).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=stream or sys.stderr)
+    stats.sort_stats(sort)
+    if top > 0:
+        stats.print_stats(top)
+    return result, stats
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.profile",
+        description="Profile a repro CLI command with cProfile.",
+    )
+    parser.add_argument(
+        "--profile-sort",
+        default="cumulative",
+        help="pstats sort key (default: cumulative; try tottime)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=30,
+        help="number of stats rows to print (default: 30)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="also dump raw stats for snakeviz / pstats",
+    )
+    parser.add_argument(
+        "cli_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro`",
+    )
+    args = parser.parse_args(argv)
+    from .cli import main as cli_main
+
+    cli_argv = args.cli_args
+    if cli_argv and cli_argv[0] == "--":
+        cli_argv = cli_argv[1:]
+
+    rc, stats = profile_call(
+        cli_main, cli_argv, sort=args.profile_sort, top=args.profile_top
+    )
+    if args.profile_out:
+        stats.dump_stats(args.profile_out)
+        print(f"profile stats written to {args.profile_out}", file=sys.stderr)
+    return int(rc or 0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,13 +51,13 @@ class RealtimeEnvironment(Environment):
         self._sleep = sleep
         self._clock = clock
         self._wall_start: Optional[float] = None
-        self._sim_start = self._now
+        self._sim_start = self.now
         self.max_lag = 0.0
 
     def sync(self) -> None:
         """(Re)anchor simulated time to the wall clock."""
         self._wall_start = self._clock()
-        self._sim_start = self._now
+        self._sim_start = self.now
 
     def _wall_deadline(self, sim_time: float) -> float:
         assert self._wall_start is not None

@@ -21,17 +21,22 @@ start of the minute, multiple invocations equally spaced).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from ..cache import CacheLike, cache_key, resolve_cache
 from ..sim.distributions import make_rng
 
 __all__ = ["AzureTraceConfig", "AzureDataset", "generate_dataset"]
 
 MINUTES_PER_DAY = 1440
 SECONDS_PER_MINUTE = 60.0
+
+# Bump when the generation algorithm changes: invalidates cached datasets.
+GENERATOR_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -119,10 +124,45 @@ class AzureDataset:
         """Cold-start overhead estimate: max - average runtime (paper rule)."""
         return self.max_runtime - self.avg_runtime
 
+    def fingerprint(self) -> str:
+        """Content digest of the dataset, used to key derived artifacts.
 
-def generate_dataset(config: Optional[AzureTraceConfig] = None) -> AzureDataset:
-    """Generate a synthetic day of Azure-like function invocations."""
+        Hashes the actual array contents (not just the config) so derived
+        caches stay correct even for hand-built or mutated datasets.
+        """
+        h = hashlib.sha256()
+        h.update(repr((GENERATOR_VERSION, self.config)).encode("utf-8"))
+        h.update(repr(self.names[:4] + self.apps[:4]).encode("utf-8"))
+        h.update(np.ascontiguousarray(self.memory_mb).tobytes())
+        h.update(np.ascontiguousarray(self.avg_runtime).tobytes())
+        h.update(np.ascontiguousarray(self.max_runtime).tobytes())
+        for fn in sorted(self.counts):
+            minutes, counts = self.counts[fn]
+            h.update(str(fn).encode("ascii"))
+            h.update(np.ascontiguousarray(minutes).tobytes())
+            h.update(np.ascontiguousarray(counts).tobytes())
+        return h.hexdigest()
+
+
+def generate_dataset(
+    config: Optional[AzureTraceConfig] = None, cache: CacheLike = None
+) -> AzureDataset:
+    """Generate a synthetic day of Azure-like function invocations.
+
+    ``cache`` (an :class:`~repro.cache.ArtifactCache`, a directory path, or
+    the ambient ``$REPRO_CACHE`` default when ``None``) memoizes the
+    generated dataset on disk keyed by the config and generator version;
+    the pickled round-trip is bit-identical to a fresh generation.
+    """
     cfg = config or AzureTraceConfig()
+    store = resolve_cache(cache)
+    if store is not None:
+        key = cache_key("azure-dataset", repr(cfg), code_version=GENERATOR_VERSION)
+        return store.get_or_create(key, lambda: _generate_dataset(cfg))
+    return _generate_dataset(cfg)
+
+
+def _generate_dataset(cfg: AzureTraceConfig) -> AzureDataset:
     rng = make_rng(cfg.seed)
     n = cfg.num_functions
 

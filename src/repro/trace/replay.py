@@ -11,10 +11,14 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..cache import CacheLike, cache_key, resolve_cache
 from .azure import SECONDS_PER_MINUTE, AzureDataset
 from .model import Trace, TraceFunction
 
 __all__ = ["expand_minute_bucket", "expand_dataset"]
+
+# Bump when the expansion rule changes: invalidates cached traces.
+EXPANSION_VERSION = 1
 
 
 def expand_minute_bucket(minute: int, count: int) -> np.ndarray:
@@ -37,13 +41,38 @@ def expand_dataset(
     dataset: AzureDataset,
     function_indices: Optional[Sequence[int]] = None,
     name: str = "azure-synth",
+    cache: CacheLike = None,
 ) -> Trace:
     """Expand (a subset of) the dataset into a sorted :class:`Trace`.
 
     ``function_indices`` selects which dataset functions to include (the
     sampler output); ``None`` expands everything that survived the
-    at-least-two-invocations filter.
+    at-least-two-invocations filter.  ``cache`` memoizes the expanded trace
+    on disk keyed by the dataset's content fingerprint plus the selection.
     """
+    store = resolve_cache(cache)
+    if store is not None:
+        sel = (
+            None
+            if function_indices is None
+            else tuple(sorted(set(int(i) for i in function_indices)))
+        )
+        key = cache_key(
+            "trace-expansion",
+            (dataset.fingerprint(), sel, name),
+            code_version=EXPANSION_VERSION,
+        )
+        return store.get_or_create(
+            key, lambda: _expand_dataset(dataset, function_indices, name)
+        )
+    return _expand_dataset(dataset, function_indices, name)
+
+
+def _expand_dataset(
+    dataset: AzureDataset,
+    function_indices: Optional[Sequence[int]] = None,
+    name: str = "azure-synth",
+) -> Trace:
     if function_indices is None:
         selected: Iterable[int] = sorted(dataset.counts)
     else:

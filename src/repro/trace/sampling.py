@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..cache import CacheLike
 from ..sim.distributions import make_rng
 from .azure import AzureDataset
 from .model import Trace
@@ -35,6 +36,7 @@ def sample_rare(
     dataset: AzureDataset,
     n: int = 1000,
     seed: Optional[int] = 1,
+    cache: CacheLike = None,
 ) -> Trace:
     """The RARE workload: the n least-frequently-invoked functions.
 
@@ -51,13 +53,15 @@ def sample_rare(
     pool = eligible[order[: min(2 * n, eligible.size)]]
     rng = make_rng(seed)
     chosen = rng.choice(pool, size=n, replace=False)
-    return expand_dataset(dataset, sorted(chosen.tolist()), name="rare")
+    return expand_dataset(dataset, sorted(chosen.tolist()), name="rare",
+                          cache=cache)
 
 
 def sample_representative(
     dataset: AzureDataset,
     n: int = 400,
     seed: Optional[int] = 2,
+    cache: CacheLike = None,
 ) -> Trace:
     """The REPRESENTATIVE workload: equal samples per frequency quartile."""
     eligible = _eligible(dataset)
@@ -83,13 +87,15 @@ def sample_representative(
             extra = rng.choice(remaining, size=min(shortfall, remaining.size),
                                replace=False)
             chosen.extend(extra.tolist())
-    return expand_dataset(dataset, sorted(chosen), name="representative")
+    return expand_dataset(dataset, sorted(chosen), name="representative",
+                          cache=cache)
 
 
 def sample_random(
     dataset: AzureDataset,
     n: int = 200,
     seed: Optional[int] = 3,
+    cache: CacheLike = None,
 ) -> Trace:
     """The RANDOM workload: a uniform sample of reusable functions."""
     eligible = _eligible(dataset)
@@ -98,7 +104,8 @@ def sample_random(
     n = min(n, eligible.size)
     rng = make_rng(seed)
     chosen = rng.choice(eligible, size=n, replace=False)
-    return expand_dataset(dataset, sorted(chosen.tolist()), name="random")
+    return expand_dataset(dataset, sorted(chosen.tolist()), name="random",
+                          cache=cache)
 
 
 def standard_samples(
@@ -106,10 +113,13 @@ def standard_samples(
     rare_n: int = 1000,
     representative_n: int = 400,
     random_n: int = 200,
+    cache: CacheLike = None,
 ) -> dict[str, Trace]:
     """The paper's three evaluation traces keyed by name."""
     return {
-        "representative": sample_representative(dataset, representative_n),
-        "rare": sample_rare(dataset, rare_n),
-        "random": sample_random(dataset, random_n),
+        "representative": sample_representative(
+            dataset, representative_n, cache=cache
+        ),
+        "rare": sample_rare(dataset, rare_n, cache=cache),
+        "random": sample_random(dataset, random_n, cache=cache),
     }

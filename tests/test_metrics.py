@@ -153,6 +153,93 @@ def test_span_reset():
     assert rec.names() == []
 
 
+def test_span_begin_end_measures_clock():
+    rec, clock = _clocked_recorder()
+    handle = rec.begin("invoke")
+    clock["t"] += 0.004
+    rec.end(handle)
+    assert rec.mean("invoke") == pytest.approx(0.004)
+
+
+def test_span_begin_disabled_is_noop():
+    rec, clock = _clocked_recorder()
+    rec.enabled = False
+    handle = rec.begin("invoke")
+    assert handle is None
+    clock["t"] += 1.0
+    rec.end(handle)  # accepts the disabled-path None without error
+    assert rec.names() == []
+
+
+def test_span_begin_end_nested():
+    rec, clock = _clocked_recorder()
+    outer = rec.begin("outer")
+    clock["t"] += 1.0
+    inner = rec.begin("inner")
+    clock["t"] += 2.0
+    rec.end(inner)
+    clock["t"] += 3.0
+    rec.end(outer)
+    assert rec.mean("inner") == pytest.approx(2.0)
+    assert rec.mean("outer") == pytest.approx(6.0)
+
+
+def test_span_double_end_rejected():
+    rec, clock = _clocked_recorder()
+    handle = rec.begin("invoke")
+    clock["t"] += 1.0
+    rec.end(handle)
+    with pytest.raises(ValueError):
+        rec.end(handle)
+
+
+def test_span_handles_are_pooled():
+    rec, clock = _clocked_recorder()
+    first = rec.begin("a")
+    rec.end(first)
+    second = rec.begin("b", tag="t")
+    # The ended handle is recycled, with its fields reset for the new span.
+    assert second is first
+    assert second.name == "b" and second.tag == "t"
+    clock["t"] += 1.0
+    rec.end(second)
+    assert rec.mean("b") == pytest.approx(1.0)
+
+
+def test_span_begin_end_keeps_intervals():
+    rec, clock = _clocked_recorder()
+    rec.keep_spans = True
+    handle = rec.begin("invoke", tag="inv-7")
+    clock["t"] += 2.5
+    rec.end(handle)
+    spans = rec.spans()
+    assert len(spans) == 1
+    assert spans[0].duration == pytest.approx(2.5)
+    assert spans[0].tag == "inv-7"
+
+
+def test_dump_jsonl_requires_keep_spans(tmp_path):
+    rec, _ = _clocked_recorder()
+    rec.record("invoke", 1.0)  # aggregated only; no retained spans
+    with pytest.raises(ValueError, match="keep_spans"):
+        rec.dump_jsonl(tmp_path / "spans.jsonl")
+
+
+def test_dump_jsonl_writes_all_spans(tmp_path):
+    rec, clock = _clocked_recorder()
+    rec.keep_spans = True
+    for i in range(3):
+        h = rec.begin("invoke", tag=f"inv-{i}")
+        clock["t"] += 1.0
+        rec.end(h)
+    path = tmp_path / "spans.jsonl"
+    written = rec.dump_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert written == 3
+    assert len(lines) == 3
+    assert path.read_text().endswith("\n")
+
+
 # ----------------------------------------------------------------- registry
 def _record(outcome, cold=False, fn="f", overhead=0.001):
     return InvocationRecord(
