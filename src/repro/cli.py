@@ -9,6 +9,8 @@ Examples::
     python -m repro litmus --workloads skew_frequency
     python -m repro ablation --which queue
     python -m repro export-azure --out /tmp/azure-day --functions 1000
+    python -m repro --scale small --telemetry /tmp/run cluster-study
+    python -m repro inspect /tmp/run
 
 Every command prints the paper-style table to stdout; ``--scale`` selects
 the experiment sizing (small/medium/full) and ``--jobs`` fans sweep
@@ -24,6 +26,7 @@ import sys
 from typing import Optional, Sequence
 
 from .cache import CACHE_ENV_VAR
+from .telemetry import TELEMETRY_ENV_VAR
 
 from .experiments import (
     FULL,
@@ -80,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: $REPRO_CACHE if set, else no caching); results "
              "are bit-identical with or without the cache",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="export a telemetry run directory (timeseries, spans, records, "
+             "Prometheus snapshot, summary) for commands that support it "
+             "(default: $REPRO_TELEMETRY if set, else off); the simulated "
+             "results are bit-identical with telemetry on or off",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("fig1", help="control-plane overhead vs concurrency")
@@ -112,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="sweep the study across LB policies (one process per policy)",
     )
+    inspect = sub.add_parser(
+        "inspect", help="summarize a telemetry run directory"
+    )
+    inspect.add_argument("run_dir", metavar="RUN_DIR")
     export = sub.add_parser(
         "export-azure", help="write a synthetic dataset in the Azure CSV schema"
     )
@@ -132,6 +148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_dir:
         # Exported (not passed) so parallel worker processes inherit it.
         os.environ[CACHE_ENV_VAR] = args.cache_dir
+    telemetry_dir = args.telemetry or os.environ.get(TELEMETRY_ENV_VAR) or None
     scale = _SCALES[args.scale]
     out = []
 
@@ -206,8 +223,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             from .experiments import run_cluster_study
 
-            result = run_cluster_study(scale)
+            result = run_cluster_study(scale, telemetry_dir=telemetry_dir)
             out.append(format_table([result.as_dict()], title="Cluster study"))
+            if telemetry_dir is not None:
+                out.append(f"telemetry run exported to {telemetry_dir}")
+    elif args.command == "inspect":
+        from .telemetry import inspect_report
+
+        out.append(inspect_report(args.run_dir).rstrip())
     elif args.command == "export-azure":
         from .trace.azure import AzureTraceConfig, generate_dataset
         from .trace.azure_io import write_azure_csvs

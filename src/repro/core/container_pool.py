@@ -118,6 +118,22 @@ class ContainerPool:
     def in_use_count(self) -> int:
         return len(self._in_use)
 
+    def pooled_memory_mb(self) -> float:
+        """Memory held by idle warm containers (the keep-alive footprint)."""
+        return sum(
+            e.memory_mb for entries in self._available.values() for e in entries
+        )
+
+    def stats(self) -> dict:
+        """Point-in-time pool gauges, as the telemetry sampler reads them."""
+        return {
+            "available": self.available_count(),
+            "in_use": len(self._in_use),
+            "pooled_memory_mb": self.pooled_memory_mb(),
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }
+
     def has_available(self, fqdn: str) -> bool:
         entries = self._available.get(fqdn)
         if not entries:

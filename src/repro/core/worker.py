@@ -242,14 +242,18 @@ class Worker:
         env = self.env
         spans = self.spans
         lat = self.config.latency
+        # Tag spans with the invocation id only when spans are retained —
+        # the telemetry decomposition joins on it; the aggregate-only mode
+        # (and the disabled recorder) skips the str() allocation entirely.
+        tag = str(inv.id) if spans.keep_spans else None
 
-        handle = spans.begin("invoke")
+        handle = spans.begin("invoke", tag)
         cost = self._lat(lat.invoke)
         if cost > 0:
             yield env.timeout(cost)
         spans.end(handle)
 
-        handle = spans.begin("sync_invoke")
+        handle = spans.begin("sync_invoke", tag)
         cost = self._lat(lat.sync_invoke)
         if cost > 0:
             yield env.timeout(cost)
@@ -267,7 +271,7 @@ class Worker:
             yield from self._execute(inv, done, token=None)
             return
 
-        handle = spans.begin("enqueue_invocation")
+        handle = spans.begin("enqueue_invocation", tag)
         cost = self._lat(lat.enqueue_invocation)
         if cost > 0:
             yield env.timeout(cost)
@@ -276,7 +280,7 @@ class Worker:
         priority = self.queue_policy.priority(inv, warm_available)
         inv.enqueued_at = env.now
 
-        handle = spans.begin("add_item_to_q")
+        handle = spans.begin("add_item_to_q", tag)
         cost = self._lat(lat.add_item_to_q)
         if cost > 0:
             yield env.timeout(cost)
@@ -308,14 +312,15 @@ class Worker:
         env = self.env
         spans = self.spans
         lat = self.config.latency
+        tag = str(inv.id) if spans.keep_spans else None
 
-        handle = spans.begin("dequeue")
+        handle = spans.begin("dequeue", tag)
         cost = self._lat(lat.dequeue)
         if cost > 0:
             yield env.timeout(cost)
         spans.end(handle)
 
-        handle = spans.begin("spawn_worker")
+        handle = spans.begin("spawn_worker", tag)
         cost = self._lat(lat.spawn_worker)
         if cost > 0:
             yield env.timeout(cost)
@@ -330,11 +335,12 @@ class Worker:
         spans = self.spans
         lat = cfg.latency
         fqdn = inv.function.fqdn()
+        tag = str(inv.id) if spans.keep_spans else None
         self.load.on_start()
-        self.energy.update(min(self.load.running, cfg.cores))
+        self.energy.update(self.load.busy_cores)
         entry = None
         try:
-            handle = spans.begin("acquire_container")
+            handle = spans.begin("acquire_container", tag)
             cost = self._lat(lat.acquire_container)
             if cost > 0:
                 yield env.timeout(cost)
@@ -342,7 +348,7 @@ class Worker:
 
             entry = self.pool.try_acquire(fqdn)
             if entry is not None:
-                handle = spans.begin("try_lock_container")
+                handle = spans.begin("try_lock_container", tag)
                 cost = self._lat(lat.try_lock_container)
                 if cost > 0:
                     yield env.timeout(cost)
@@ -350,14 +356,19 @@ class Worker:
                 inv.cold = False
             else:
                 inv.cold = True
+                # The cold_create span covers memory admission + sandbox
+                # creation: the whole cold-path detour the warm path skips.
+                handle = spans.begin("cold_create", tag)
                 took = yield from self._take_memory(inv.function.memory_mb)
                 if not took:
+                    spans.end(handle)
                     self._drop(inv, done, "insufficient memory")
                     return
                 entry = yield from self._cold_create(inv.function)
+                spans.end(handle)
 
             # Talk to the agent.
-            handle = spans.begin("prepare_invoke")
+            handle = spans.begin("prepare_invoke", tag)
             cost = self._lat(lat.prepare_invoke)
             if cost > 0:
                 yield env.timeout(cost)
@@ -366,7 +377,7 @@ class Worker:
             conn_cost = self.http_clients.connection_cost(entry.container.id)
             if conn_cost > 0:
                 yield env.timeout(conn_cost)
-                spans.record("http_client_create", conn_cost)
+                spans.record("http_client_create", conn_cost, tag)
 
             exec_time = (
                 self._cold_exec_time(inv.function)
@@ -393,19 +404,22 @@ class Worker:
             else:
                 yield invoke_proc
             inv.exec_finished_at = inv.exec_started_at + exec_time
+            # The execution window itself, retained (not aggregated) so the
+            # telemetry decomposition can subtract function time exactly.
+            spans.record_span("exec", call_start, call_start + exec_time, tag)
             # call_container span is the HTTP overhead around execution.
             spans.record(
-                "call_container", max(env.now - call_start - exec_time, 0.0)
+                "call_container", max(env.now - call_start - exec_time, 0.0), tag
             )
 
-            handle = spans.begin("download_result")
+            handle = spans.begin("download_result", tag)
             cost = self._lat(lat.download_result)
             if cost > 0:
                 yield env.timeout(cost)
             spans.end(handle)
 
             # Return the container to the pool and the results to the caller.
-            handle = spans.begin("return_container")
+            handle = spans.begin("return_container", tag)
             cost = self._lat(lat.return_container)
             if cost > 0:
                 yield env.timeout(cost)
@@ -414,7 +428,7 @@ class Worker:
             self.pool.return_entry(entry)
             entry = None
 
-            handle = spans.begin("return_results")
+            handle = spans.begin("return_results", tag)
             cost = self._lat(lat.return_results)
             if cost > 0:
                 yield env.timeout(cost)
@@ -435,12 +449,13 @@ class Worker:
                     overhead=inv.overhead,
                     cold=inv.cold,
                     worker=self.name,
+                    invocation_id=inv.id,
                 )
             )
             done.succeed(inv)
         finally:
             self.load.on_finish()
-            self.energy.update(min(self.load.running, self.config.cores))
+            self.energy.update(self.load.busy_cores)
             if token is not None:
                 self.regulator.tokens.release(token)
             if entry is not None:
@@ -476,6 +491,7 @@ class Worker:
                 overhead=inv.overhead,
                 cold=inv.cold,
                 worker=self.name,
+                invocation_id=inv.id,
             )
         )
         done.succeed(inv)
@@ -559,9 +575,17 @@ class Worker:
                 arrival=inv.arrival,
                 outcome=Outcome.DROPPED,
                 worker=self.name,
+                invocation_id=inv.id,
             )
         )
         done.succeed(inv)
+
+    # ---------------------------------------------------------- telemetry
+    def attach_telemetry(self, telemetry) -> None:
+        """Register this worker with a :class:`repro.telemetry.Telemetry`
+        pipeline (gauge sampling, latency histograms, span retention).
+        Equivalent to ``telemetry.attach_worker(self)``."""
+        telemetry.attach_worker(self)
 
     # ------------------------------------------------------------- status
     def status(self) -> dict:

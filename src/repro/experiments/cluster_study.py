@@ -82,11 +82,15 @@ def run_cluster_study(
     duration_cap: float = 1800.0,
     lb_policy: str = "ch_bl",
     cache: CacheLike = None,
+    telemetry_dir: Optional[str] = None,
 ) -> ClusterStudyResult:
     """Replay (a clip of) the representative trace on a cluster.
 
     ``target_load_fraction`` positions the Little's-law load relative to
     total cluster cores (0.6 = comfortably loaded, not saturated).
+    ``telemetry_dir``, when set, attaches the opt-in telemetry pipeline
+    and exports the run directory (timeseries, spans, records, metrics,
+    summary) there after the replay.
     """
     if not 0 < target_load_fraction:
         raise ValueError("target_load_fraction must be positive")
@@ -111,6 +115,14 @@ def run_cluster_study(
         ),
         lb_policy=lb_policy,
     )
+    telemetry = None
+    if telemetry_dir is not None:
+        # Deferred import: the pipeline only loads when somebody opts in.
+        from ..telemetry import Telemetry
+
+        telemetry = Telemetry(env)
+        cluster.attach_telemetry(telemetry)
+        telemetry.start()
     cluster.start()
     for f in trace.functions:
         cluster.register_sync(
@@ -124,6 +136,9 @@ def run_cluster_study(
     plan = plan_from_trace(trace)
     invocations = replay_plan(env, cluster, plan, grace=300.0)
     cluster.stop()
+    if telemetry is not None:
+        telemetry.stop()
+        telemetry.export(telemetry_dir)
 
     done = [i for i in invocations if not i.dropped and i.completed_at]
     e2e = [i.e2e_time for i in done]

@@ -121,6 +121,15 @@ class Cluster:
         inv = yield done
         return inv
 
+    # ----------------------------------------------------------- telemetry
+    def attach_telemetry(self, telemetry) -> None:
+        """Register the whole cluster with a :class:`repro.telemetry.Telemetry`
+        pipeline: every worker's gauges are sampled, the status board
+        publishes its load snapshots into the sampler, and the LB's spans
+        are retained alongside the workers'.  Equivalent to
+        ``telemetry.attach_cluster(self)``."""
+        telemetry.attach_cluster(self)
+
     # -------------------------------------------------------------- status
     def status(self) -> dict:
         return {

@@ -12,6 +12,7 @@ queue-length-based load signal is meant to improve on).
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Callable, Optional, Sequence
 
 from .chbl import BoundedLoadBalancer
@@ -121,7 +122,15 @@ class StatusBoard:
     ``interval=None`` reads live state on every query (the idealized
     default the Cluster used before); a positive interval re-snapshots at
     most that often, so balancer decisions act on data up to ``interval``
-    seconds old.
+    seconds old.  Snapshot epochs are aligned to the interval grid
+    (``snapped_at`` is always a multiple of ``interval``), matching
+    workers that push status reports on a fixed period rather than
+    whenever somebody happens to ask.
+
+    ``publish``, when set, is called as ``publish(worker, time, load)``
+    every time a worker's status is (re)read into the snapshot — the hook
+    the telemetry sampler uses to record the exact load signal the
+    balancer acted on.
     """
 
     def __init__(
@@ -129,28 +138,39 @@ class StatusBoard:
         clock: Callable[[], float],
         live_load_fn: Callable[[str], float],
         interval: Optional[float] = None,
+        publish: Optional[Callable[[str, float, float], None]] = None,
     ):
         if interval is not None and interval <= 0:
             raise ValueError("interval must be positive (or None for live)")
         self._clock = clock
         self._live = live_load_fn
         self.interval = interval
+        self.publish = publish
         self._snapshot: dict[str, float] = {}
         self._snapped_at: Optional[float] = None
         self.refreshes = 0
+
+    @property
+    def snapped_at(self) -> Optional[float]:
+        """Grid epoch of the current snapshot (None before the first)."""
+        return self._snapped_at
 
     def load(self, worker: str) -> float:
         if self.interval is None:
             return self._live(worker)
         now = self._clock()
         if self._snapped_at is None or now - self._snapped_at >= self.interval:
-            # A fresh round of status reports arrived.
+            # A fresh round of status reports arrived; the epoch is the
+            # grid slot the reports belong to, not the query time.
             self._snapshot = {}
-            self._snapped_at = now
+            self._snapped_at = math.floor(now / self.interval) * self.interval
             self.refreshes += 1
-        if worker not in self._snapshot:
-            self._snapshot[worker] = self._live(worker)
-        return self._snapshot[worker]
+        value = self._snapshot.get(worker)
+        if value is None:
+            value = self._snapshot[worker] = self._live(worker)
+            if self.publish is not None:
+                self.publish(worker, now, value)
+        return value
 
 
 def make_balancer(

@@ -1,19 +1,28 @@
-"""Metrics substrate: spans, counters, summaries, simulated energy."""
+"""Metrics substrate: spans, counters, histograms, summaries, simulated energy."""
 
 from .energy import EnergyModel, EnergyMonitor
-from .registry import InvocationRecord, MetricsRegistry, Outcome
-from .spans import SPAN_GROUPS, Span, SpanRecorder, load_spans_jsonl
+from .histograms import LogHistogram
+from .registry import (
+    LATENCY_HISTOGRAMS,
+    InvocationRecord,
+    MetricsRegistry,
+    Outcome,
+)
+from .spans import SPAN_GROUPS, Span, SpanRecorder, dump_spans_jsonl, load_spans_jsonl
 from .stats import LatencySummary, OnlineStats, bin_timeseries, percentile, summarize
 
 __all__ = [
     "EnergyModel",
     "EnergyMonitor",
+    "LogHistogram",
+    "LATENCY_HISTOGRAMS",
     "InvocationRecord",
     "MetricsRegistry",
     "Outcome",
     "SPAN_GROUPS",
     "Span",
     "SpanRecorder",
+    "dump_spans_jsonl",
     "load_spans_jsonl",
     "LatencySummary",
     "OnlineStats",

@@ -70,5 +70,24 @@ class EnergyMonitor:
         return self._joules
 
     @property
+    def power(self) -> float:
+        """Instantaneous power draw (W) at the current load level."""
+        return self.model.power(self._busy_cores)
+
+    def joules_at(self, now: float) -> float:
+        """Energy consumed up to ``now``, *without* closing the interval.
+
+        The telemetry sampler reads this mid-interval: it must not mutate
+        the monitor, or observation would change subsequent integration
+        state (and with it the worker's reported totals).
+        """
+        if not self._started:
+            return self._joules
+        dt = now - self._last_time
+        if dt < 0:
+            raise ValueError("clock went backwards")
+        return self._joules + self.model.power(self._busy_cores) * dt
+
+    @property
     def busy_cores(self) -> float:
         return self._busy_cores

@@ -1,0 +1,167 @@
+"""Fixed log-bucket histograms with quantile queries.
+
+Ilúvatar's worker is self-monitoring: it keeps all internal metrics itself
+instead of shipping raw samples to an external system (Section 5.1).
+Distribution queries — p50/p90/p99 of end-to-end latency, queue time,
+control-plane overhead — must therefore be answerable from a compact,
+constant-size structure that costs O(1) per observation.
+
+:class:`LogHistogram` is that structure: geometrically spaced buckets
+(fixed at construction, so two histograms with the same shape can be
+merged bucket-wise), integer counts, and rank-based quantile estimation
+that is exact up to bucket resolution.  The default shape spans 10 µs to
+10 000 s at 10 buckets per decade, which brackets every latency this
+control plane produces with ~26% worst-case quantile error.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["LogHistogram"]
+
+
+class LogHistogram:
+    """Log-spaced bucket histogram over non-negative samples.
+
+    Bucket ``0`` holds every sample ``<= bounds[0]`` (including exact
+    zeros, which a log scale cannot place); bucket ``i`` holds samples in
+    ``(bounds[i-1], bounds[i]]``; the final bucket is the overflow for
+    samples ``> bounds[-1]``.
+    """
+
+    __slots__ = ("bounds", "counts", "growth", "count", "total", "_min", "_max")
+
+    def __init__(
+        self,
+        lo: float = 1e-5,
+        hi: float = 1e4,
+        buckets_per_decade: int = 10,
+    ):
+        if lo <= 0:
+            raise ValueError(f"lo must be positive, got {lo}")
+        if hi <= lo:
+            raise ValueError(f"hi ({hi}) must exceed lo ({lo})")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.growth = 10.0 ** (1.0 / buckets_per_decade)
+        n = math.ceil(math.log10(hi / lo) * buckets_per_decade)
+        self.bounds: list[float] = [lo * self.growth**i for i in range(n + 1)]
+        # [underflow/first] + n interior + [overflow]
+        self.counts: list[int] = [0] * (n + 2)
+        self.count = 0
+        self.total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one sample; O(log buckets)."""
+        if not value >= 0.0:  # also rejects NaN
+            raise ValueError(f"histogram samples must be non-negative, got {value}")
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Add another histogram's counts into this one (same shape only)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+
+    # -- queries -----------------------------------------------------------
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket ``value`` would land in."""
+        return bisect_left(self.bounds, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Rank-based quantile estimate (q in [0, 100]).
+
+        Returns the upper edge of the bucket holding the
+        ``ceil(q/100 * count)``-th smallest sample, clamped to the observed
+        maximum — so the estimate is always within one bucket boundary of
+        the exact empirical (nearest-rank) quantile.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= rank:
+                if i >= len(self.bounds):  # overflow bucket
+                    return float(self._max)
+                return min(self.bounds[i], self._max)
+        return float(self._max)  # pragma: no cover - rank <= count
+
+    def percentiles(self) -> dict[str, float]:
+        """The monitoring trio, ready for a status report."""
+        return {
+            "p50": self.quantile(50.0),
+            "p90": self.quantile(90.0),
+            "p99": self.quantile(99.0),
+        }
+
+    def summary(self) -> dict:
+        """Flat dict for tables / JSON summaries."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self._min if self._min is not None else float("nan"),
+            "max": self._max if self._max is not None else float("nan"),
+            **self.percentiles(),
+        }
+
+    def cumulative(self) -> Iterator[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, Prometheus-style, ending
+        with the (+inf, count) overflow entry."""
+        cum = 0
+        for bound, c in zip(self.bounds, self.counts):
+            cum += c
+            yield bound, cum
+        yield float("inf"), self.count
+
+    def nonzero_buckets(self) -> Iterable[tuple[int, int]]:
+        """(bucket_index, count) for buckets holding samples."""
+        return [(i, c) for i, c in enumerate(self.counts) if c]
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.counts)
+        self.count = 0
+        self.total = 0.0
+        self._min = None
+        self._max = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LogHistogram count={self.count} "
+            f"range=[{self.bounds[0]:g}, {self.bounds[-1]:g}] "
+            f"buckets={len(self.counts)}>"
+        )

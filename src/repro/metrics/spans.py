@@ -25,11 +25,17 @@ from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from .stats import LatencySummary, summarize
 
-__all__ = ["Span", "SpanRecorder", "SPAN_GROUPS", "load_spans_jsonl"]
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "SPAN_GROUPS",
+    "load_spans_jsonl",
+    "dump_spans_jsonl",
+]
 
 # Paper Table 2 grouping of worker components.
 SPAN_GROUPS: dict[str, str] = {
@@ -41,6 +47,7 @@ SPAN_GROUPS: dict[str, str] = {
     "dequeue": "Container Operations",
     "acquire_container": "Container Operations",
     "try_lock_container": "Container Operations",
+    "cold_create": "Container Operations",
     "prepare_invoke": "Agent Communication",
     "call_container": "Agent Communication",
     "download_result": "Agent Communication",
@@ -155,6 +162,23 @@ class SpanRecorder:
             now = self.clock()
             self._spans.append(Span(name=name, start=now - duration, end=now, tag=tag))
 
+    def record_span(
+        self, name: str, start: float, end: float, tag: Optional[str] = None
+    ) -> None:
+        """Append a raw interval to the retained span log *without* touching
+        the aggregate durations.
+
+        Used for intervals that are context, not control-plane components —
+        e.g. the function-execution window the telemetry decomposition
+        subtracts — so aggregate reports (Table 2) stay component-only.
+        No-op unless both ``enabled`` and ``keep_spans`` are set.
+        """
+        if not (self.enabled and self.keep_spans):
+            return
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self._spans.append(Span(name=name, start=start, end=end, tag=tag))
+
     # -- reporting ---------------------------------------------------------
     def names(self) -> list[str]:
         return sorted(self._durations)
@@ -215,16 +239,23 @@ class SpanRecorder:
                 "dump_jsonl requires keep_spans=True; this recorder only "
                 "aggregated durations, so there are no spans to write"
             )
-        spans = self._spans
-        dumps = json.dumps
-        lines = [
-            dumps({"name": s.name, "start": s.start, "end": s.end, "tag": s.tag})
-            for s in spans
-        ]
-        lines.append("")  # trailing newline
-        with open(path, "w") as fh:
-            fh.write("\n".join(lines))
-        return len(spans)
+        return dump_spans_jsonl(self._spans, path)
+
+
+def dump_spans_jsonl(spans: Iterable[Span], path: Union[str, Path]) -> int:
+    """Write spans as JSON lines (the :meth:`SpanRecorder.dump_jsonl`
+    format); also used to dump spans merged from several recorders.
+    Returns the number of spans written."""
+    dumps = json.dumps
+    lines = [
+        dumps({"name": s.name, "start": s.start, "end": s.end, "tag": s.tag})
+        for s in spans
+    ]
+    count = len(lines)
+    lines.append("")  # trailing newline
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines))
+    return count
 
 
 def load_spans_jsonl(path: Union[str, Path]) -> list[Span]:

@@ -62,6 +62,18 @@ class LoadTracker:
         """Load average relative to core count (1.0 = fully busy)."""
         return self.loadavg / self.cores
 
+    @property
+    def busy_cores(self) -> float:
+        """Cores actually occupied right now (running, capped at cores).
+
+        The energy model and the telemetry sampler both read this: running
+        invocations above the core count time-share and draw no extra
+        power.
+        """
+        running = self.running
+        cores = self.cores
+        return float(running) if running < cores else cores
+
     def sampler(self, env: Environment) -> Generator:
         """Background DES process: keep the load average fresh."""
         while True:

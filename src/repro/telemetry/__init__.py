@@ -1,0 +1,74 @@
+"""Opt-in observability for the simulated control plane.
+
+The paper's worker is self-monitoring (Section 5.1): it traces every
+component with spans, keeps its own metrics, and publishes periodic
+status.  This package reproduces that stack for the simulator —
+
+* :class:`TelemetrySampler` — a DES process snapshotting per-worker
+  gauges (queue depth, containers, memory, cores, energy) on a simulated
+  -time grid into columnar :class:`Timeseries`;
+* latency histograms — recorded into each worker's
+  :class:`~repro.metrics.registry.MetricsRegistry` at completion;
+* span-derived overhead :mod:`~repro.telemetry.decomposition` — the
+  per-phase critical-path breakdown behind the paper's Table 2;
+* :mod:`~repro.telemetry.exporters` + ``repro inspect`` — JSONL/CSV/
+  Prometheus artifacts and the CLI that reads them back.
+
+Everything is opt-in: experiments pass ``--telemetry DIR`` (or set the
+``REPRO_TELEMETRY`` environment variable) to construct a
+:class:`Telemetry` object; without one, none of this code runs and the
+control plane's behavior and timing are bit-identical.
+"""
+
+from .decomposition import (
+    EXEC_SPAN,
+    PHASE_OF_SPAN,
+    PHASES,
+    InvocationBreakdown,
+    aggregate_phases,
+    breakdown_rows,
+    decompose,
+    match_records,
+)
+from .exporters import (
+    dump_timeseries_csv,
+    dump_timeseries_jsonl,
+    render_prometheus,
+    write_prometheus,
+)
+from .runs import RUN_FILES, Telemetry, inspect_report, load_run
+from .sampler import (
+    ENERGY_COLUMNS,
+    WORKER_COLUMNS,
+    TelemetryConfig,
+    TelemetrySampler,
+    Timeseries,
+)
+
+__all__ = [
+    "EXEC_SPAN",
+    "PHASES",
+    "PHASE_OF_SPAN",
+    "InvocationBreakdown",
+    "aggregate_phases",
+    "breakdown_rows",
+    "decompose",
+    "match_records",
+    "dump_timeseries_csv",
+    "dump_timeseries_jsonl",
+    "render_prometheus",
+    "write_prometheus",
+    "RUN_FILES",
+    "Telemetry",
+    "inspect_report",
+    "load_run",
+    "ENERGY_COLUMNS",
+    "WORKER_COLUMNS",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "Timeseries",
+    "TELEMETRY_ENV_VAR",
+]
+
+# Environment-variable fallback for the CLI's --telemetry flag.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"

@@ -1,0 +1,220 @@
+"""Span-derived overhead decomposition (the paper's Table 2, per run).
+
+The worker's spans carry an invocation-id tag when telemetry retains them;
+this module reconstructs each invocation's critical path from those spans
+and splits the control-plane overhead (everything that is not function
+code) into phases:
+
+* ``queue``       — ingestion components + time waiting in the invocation
+                    queue + dispatch components;
+* ``acquire``     — warm-container acquisition (lookup + lock);
+* ``cold_create`` — the cold-path detour: memory admission + sandbox
+                    creation (zero for warm invocations);
+* ``exec_comm``   — agent communication around execution (HTTP prepare /
+                    call / result download);
+* ``post``        — returning the container and the results;
+* ``other``       — any spans outside the canonical mapping (forward
+                    compatibility; normally zero).
+
+Per invocation, the phase durations plus the queue-wait gap telescope to
+exactly the recorded end-to-end time minus the execution window, so the
+phase sum equals the invocation's recorded ``overhead`` up to float
+rounding — asserted by :func:`match_records` and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..metrics.spans import Span
+
+__all__ = [
+    "PHASES",
+    "PHASE_OF_SPAN",
+    "EXEC_SPAN",
+    "InvocationBreakdown",
+    "decompose",
+    "aggregate_phases",
+    "breakdown_rows",
+    "match_records",
+]
+
+EXEC_SPAN = "exec"
+
+PHASES = ("queue", "acquire", "cold_create", "exec_comm", "post", "other")
+
+PHASE_OF_SPAN: dict[str, str] = {
+    "invoke": "queue",
+    "sync_invoke": "queue",
+    "enqueue_invocation": "queue",
+    "add_item_to_q": "queue",
+    "dequeue": "queue",
+    "spawn_worker": "queue",
+    "acquire_container": "acquire",
+    "try_lock_container": "acquire",
+    "cold_create": "cold_create",
+    "prepare_invoke": "exec_comm",
+    "http_client_create": "exec_comm",
+    "call_container": "exec_comm",
+    "download_result": "exec_comm",
+    "return_container": "post",
+    "return_results": "post",
+}
+
+
+@dataclass(frozen=True)
+class InvocationBreakdown:
+    """One invocation's critical path, phase by phase (seconds)."""
+
+    tag: str                       # span tag == str(invocation_id)
+    phases: Mapping[str, float]
+    exec_time: float
+    cold: bool
+    start: float                   # first span start (≈ arrival)
+    end: float                     # last span end (≈ completion)
+
+    @property
+    def overhead(self) -> float:
+        """Control-plane time: the sum of all phases."""
+        return sum(self.phases.values())
+
+    @property
+    def invocation_id(self) -> Optional[int]:
+        return int(self.tag) if self.tag.isdigit() else None
+
+
+def decompose(spans: Iterable[Span]) -> list[InvocationBreakdown]:
+    """Reconstruct per-invocation phase breakdowns from tagged spans.
+
+    Only groups containing an execution window (i.e. invocations that ran
+    to completion) are decomposable; load-balancer spans (tagged with
+    fqdns), dropped and timed-out invocations are skipped.  Results are
+    ordered by invocation id.
+    """
+    groups: dict[str, list[Span]] = {}
+    for s in spans:
+        if s.tag is not None:
+            groups.setdefault(s.tag, []).append(s)
+
+    out: list[InvocationBreakdown] = []
+    for tag, group in groups.items():
+        if not any(s.name == EXEC_SPAN for s in group):
+            continue
+        phases = dict.fromkeys(PHASES, 0.0)
+        exec_time = 0.0
+        add_item_end: Optional[float] = None
+        dequeue_start: Optional[float] = None
+        first_start = min(s.start for s in group)
+        last_end = max(s.end for s in group)
+        cold = False
+        for s in group:
+            if s.name == EXEC_SPAN:
+                exec_time += s.duration
+                continue
+            if s.name == "cold_create":
+                cold = True
+            phases[PHASE_OF_SPAN.get(s.name, "other")] += s.duration
+            if s.name == "add_item_to_q":
+                add_item_end = s.end
+            elif s.name == "dequeue":
+                dequeue_start = s.start
+        if add_item_end is not None and dequeue_start is not None:
+            # The only instrumentation gap on the critical path: waiting in
+            # the invocation queue between insertion and dispatch.
+            phases["queue"] += max(dequeue_start - add_item_end, 0.0)
+        out.append(
+            InvocationBreakdown(
+                tag=tag,
+                phases=phases,
+                exec_time=exec_time,
+                cold=cold,
+                start=first_start,
+                end=last_end,
+            )
+        )
+    out.sort(key=lambda b: (b.invocation_id is None, b.invocation_id, b.tag))
+    return out
+
+
+def aggregate_phases(breakdowns: Sequence[InvocationBreakdown]) -> dict[str, dict]:
+    """Per-phase statistics over a run: mean / p99 / total / share of
+    overhead (share in [0, 1])."""
+    if not breakdowns:
+        return {}
+    totals = {p: np.array([b.phases[p] for b in breakdowns]) for p in PHASES}
+    grand_total = float(sum(arr.sum() for arr in totals.values()))
+    out: dict[str, dict] = {}
+    for p in PHASES:
+        arr = totals[p]
+        total = float(arr.sum())
+        out[p] = {
+            "mean": float(arr.mean()),
+            "p99": float(np.percentile(arr, 99.0)),
+            "total": total,
+            "share": total / grand_total if grand_total > 0 else 0.0,
+        }
+    return out
+
+
+def breakdown_rows(
+    breakdowns: Sequence[InvocationBreakdown], scale: float = 1000.0
+) -> list[dict]:
+    """Table-2-style rows (one per phase + a total), times scaled by
+    ``scale`` (default seconds → milliseconds)."""
+    stats = aggregate_phases(breakdowns)
+    rows = [
+        {
+            "phase": p,
+            "mean": stats[p]["mean"] * scale,
+            "p99": stats[p]["p99"] * scale,
+            "share_pct": stats[p]["share"] * 100.0,
+        }
+        for p in PHASES
+        if p in stats
+    ]
+    if rows:
+        overheads = np.array([b.overhead for b in breakdowns])
+        rows.append(
+            {
+                "phase": "total_overhead",
+                "mean": float(overheads.mean()) * scale,
+                "p99": float(np.percentile(overheads, 99.0)) * scale,
+                "share_pct": 100.0,
+            }
+        )
+    return rows
+
+
+def match_records(
+    breakdowns: Sequence[InvocationBreakdown],
+    records: Iterable,
+    tolerance: float = 1e-9,
+) -> tuple[int, int]:
+    """Cross-check phase sums against recorded per-invocation overheads.
+
+    ``records`` supplies objects (or dicts) with ``invocation_id`` and
+    ``overhead``.  Returns ``(matched, compared)`` — a breakdown counts as
+    matched when its phase sum equals the record's overhead within
+    ``tolerance`` (absolute, plus 1e-9 relative slack for long runs).
+    """
+    by_id: dict[int, float] = {}
+    for r in records:
+        if isinstance(r, Mapping):
+            rid, overhead = r.get("invocation_id"), r.get("overhead")
+        else:
+            rid, overhead = getattr(r, "invocation_id", None), getattr(r, "overhead", None)
+        if rid:
+            by_id[int(rid)] = float(overhead)
+    matched = compared = 0
+    for b in breakdowns:
+        rid = b.invocation_id
+        if rid is None or rid not in by_id:
+            continue
+        compared += 1
+        expected = by_id[rid]
+        if abs(b.overhead - expected) <= tolerance + 1e-9 * abs(expected):
+            matched += 1
+    return matched, compared

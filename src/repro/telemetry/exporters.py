@@ -1,0 +1,105 @@
+"""Exporters: timeseries → JSONL/CSV, metrics → Prometheus text format.
+
+Ilúvatar keeps metrics in-process and exposes them on demand (Section
+5.1); these writers are the on-demand part.  JSONL is the machine-readable
+run artifact (one row per line, ``series`` column identifying the worker),
+CSV is for spreadsheets/pandas, and the Prometheus text exposition format
+makes the registry's counters, gauges and histograms scrapeable by the
+standard ecosystem without any client library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Union
+
+from ..metrics.registry import MetricsRegistry
+from .sampler import Timeseries
+
+__all__ = [
+    "dump_timeseries_jsonl",
+    "dump_timeseries_csv",
+    "render_prometheus",
+    "write_prometheus",
+]
+
+
+def dump_timeseries_jsonl(
+    series: Mapping[str, Timeseries], path: Union[str, Path]
+) -> int:
+    """Write every series' rows as JSON lines, tagged with a ``series``
+    key.  Returns the number of rows written."""
+    dumps = json.dumps
+    count = 0
+    with open(path, "w") as fh:
+        for name in sorted(series):
+            for row in series[name].rows():
+                fh.write(dumps({"series": name, **row}))
+                fh.write("\n")
+                count += 1
+    return count
+
+
+def dump_timeseries_csv(ts: Timeseries, path: Union[str, Path]) -> int:
+    """Write one series as CSV with a header row.  Returns the row count."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(ts.columns)
+        writer.writerows(zip(*(ts.column(c) for c in ts.columns)))
+    return len(ts)
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    """Registry name → Prometheus metric name (``repro_`` namespace,
+    dots and dashes become underscores)."""
+    return "repro_" + name.replace(".", "_").replace("-", "_") + suffix
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def render_prometheus(metrics: MetricsRegistry, help_text: bool = True) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix, gauges are emitted as-is, and each
+    histogram becomes the conventional ``_bucket{le=...}`` /  ``_sum`` /
+    ``_count`` family (cumulative buckets, closing with ``le="+Inf"``).
+    """
+    lines: list[str] = []
+    for name in sorted(metrics.counters):
+        metric = _metric_name(name, "_total")
+        if help_text:
+            lines.append(f"# HELP {metric} Counter {name!r} from the repro registry.")
+            lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {metrics.counters[name]}")
+    for name in sorted(metrics.gauges):
+        metric = _metric_name(name)
+        if help_text:
+            lines.append(f"# HELP {metric} Gauge {name!r} from the repro registry.")
+            lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(metrics.gauges[name])}")
+    for name in sorted(metrics.histograms):
+        hist = metrics.histograms[name]
+        metric = _metric_name(name)
+        if help_text:
+            lines.append(f"# HELP {metric} Histogram {name!r} from the repro registry.")
+            lines.append(f"# TYPE {metric} histogram")
+        for bound, cum in hist.cumulative():
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {cum}')
+        lines.append(f"{metric}_sum {_fmt(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_prometheus(
+    metrics: MetricsRegistry, path: Union[str, Path], help_text: bool = True
+) -> None:
+    """Write :func:`render_prometheus` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_prometheus(metrics, help_text=help_text))

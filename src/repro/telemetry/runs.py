@@ -1,0 +1,333 @@
+"""The telemetry pipeline: attach → sample → export → inspect.
+
+:class:`Telemetry` bundles the whole observability stack behind one
+opt-in object.  An experiment constructs it, attaches a worker or a
+cluster *before* starting the run, and calls :meth:`export` afterwards to
+produce a self-contained run directory:
+
+=================  ====================================================
+``timeseries.jsonl``  sampled gauge rows, one JSON object per line,
+                      ``series`` keying the worker (plus ``lb`` for the
+                      status-board load signal)
+``spans.jsonl``       merged retained spans (workers + load balancer)
+``records.jsonl``     per-invocation records
+``metrics.prom``      Prometheus text-format snapshot of the merged
+                      registries
+``summary.json``      config echo, outcome tallies, latency-histogram
+                      summaries and the phase decomposition
+=================  ====================================================
+
+``repro inspect <run-dir>`` (see :func:`inspect_report`) renders the
+directory back into the paper-style tables.  When no ``Telemetry`` is
+constructed nothing here runs — the worker hot path is byte-identical to
+a build without this package.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..metrics.registry import InvocationRecord, MetricsRegistry, Outcome
+from ..metrics.spans import Span, dump_spans_jsonl, load_spans_jsonl
+from .decomposition import breakdown_rows, decompose, match_records
+from .exporters import dump_timeseries_jsonl, write_prometheus
+from .sampler import TelemetryConfig, TelemetrySampler, Timeseries
+
+__all__ = [
+    "Telemetry",
+    "RUN_FILES",
+    "load_run",
+    "inspect_report",
+]
+
+# Canonical run-directory layout (name → filename).
+RUN_FILES = {
+    "timeseries": "timeseries.jsonl",
+    "spans": "spans.jsonl",
+    "records": "records.jsonl",
+    "metrics": "metrics.prom",
+    "summary": "summary.json",
+}
+
+
+class Telemetry:
+    """One run's telemetry: sampler + span retention + latency histograms.
+
+    Attach targets before ``start()``; attaching flips the retained-span
+    and histogram switches on the target's existing recorder/registry, so
+    the instrumentation already woven through the worker starts keeping
+    data — no new callbacks enter the invocation path.
+    """
+
+    def __init__(self, env, config: Optional[TelemetryConfig] = None):
+        self.env = env
+        self.config = config or TelemetryConfig()
+        self.sampler = TelemetrySampler(
+            env,
+            interval=self.config.interval,
+            sample_energy=self.config.sample_energy,
+        )
+        self._workers: list = []
+        self._extra_recorders: list = []  # LB span recorders, merged on export
+
+    # -- wiring ------------------------------------------------------------
+    def attach_worker(self, worker) -> None:
+        self.sampler.attach_worker(worker)
+        if self.config.keep_spans:
+            worker.spans.keep_spans = True
+        if self.config.histograms:
+            worker.metrics.enable_latency_histograms()
+        self._workers.append(worker)
+
+    def attach_cluster(self, cluster) -> None:
+        for worker in cluster.workers.values():
+            self.attach_worker(worker)
+        if self.config.keep_spans:
+            cluster.spans.keep_spans = True
+            self._extra_recorders.append(cluster.spans)
+        # Record the load values the balancer actually acted on.
+        cluster.status_board.publish = self.sampler.record_lb_load
+
+    def start(self) -> None:
+        self.sampler.start()
+
+    def stop(self) -> None:
+        self.sampler.stop()
+
+    # -- views -------------------------------------------------------------
+    @property
+    def series(self) -> dict[str, Timeseries]:
+        return self.sampler.series
+
+    def spans(self) -> list[Span]:
+        """All retained spans across workers and the LB, in start order."""
+        out: list[Span] = []
+        for w in self._workers:
+            out.extend(w.spans.spans())
+        for rec in self._extra_recorders:
+            out.extend(rec.spans())
+        out.sort(key=lambda s: (s.start, s.end, s.name))
+        return out
+
+    def records(self) -> list[InvocationRecord]:
+        out: list[InvocationRecord] = []
+        for w in self._workers:
+            out.extend(w.metrics.records)
+        out.sort(key=lambda r: (r.arrival, r.invocation_id))
+        return out
+
+    def breakdowns(self):
+        return decompose(self.spans())
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Counters summed, histograms merged, gauges worker-prefixed."""
+        merged = MetricsRegistry()
+        for w in self._workers:
+            m = w.metrics
+            for name, v in m.counters.items():
+                merged.incr(name, v)
+            for name, v in m.gauges.items():
+                merged.set_gauge(f"{w.name}.{name}", v)
+            for name, hist in m.histograms.items():
+                target = merged.histograms.get(name)
+                if target is None:
+                    # Clone the first worker's shape so merge() accepts the
+                    # rest (all workers share the default shape anyway).
+                    merged.histograms[name] = copy.deepcopy(hist)
+                else:
+                    target.merge(hist)
+        return merged
+
+    # -- export ------------------------------------------------------------
+    def export(self, run_dir: Union[str, Path]) -> dict[str, Path]:
+        """Write the run directory; returns {kind: path}."""
+        run_dir = Path(run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        paths = {k: run_dir / v for k, v in RUN_FILES.items()}
+
+        series = dict(self.sampler.series)
+        if len(self.sampler.lb_loads):
+            series["lb"] = self.sampler.lb_loads
+        dump_timeseries_jsonl(series, paths["timeseries"])
+
+        dump_spans_jsonl(self.spans(), paths["spans"])
+
+        with open(paths["records"], "w") as fh:
+            for r in self.records():
+                fh.write(json.dumps({
+                    "function": r.function,
+                    "arrival": r.arrival,
+                    "outcome": r.outcome.value,
+                    "exec_time": r.exec_time,
+                    "e2e_time": r.e2e_time,
+                    "queue_time": r.queue_time,
+                    "overhead": r.overhead,
+                    "cold": r.cold,
+                    "worker": r.worker,
+                    "invocation_id": r.invocation_id,
+                }))
+                fh.write("\n")
+
+        write_prometheus(self.merged_metrics(), paths["metrics"])
+
+        with open(paths["summary"], "w") as fh:
+            json.dump(self.summary(), fh, indent=2)
+            fh.write("\n")
+        return paths
+
+    def summary(self) -> dict:
+        records = self.records()
+        outcomes: dict[str, int] = {}
+        for r in records:
+            outcomes[r.outcome.value] = outcomes.get(r.outcome.value, 0) + 1
+        merged = self.merged_metrics()
+        breakdowns = self.breakdowns()
+        matched, compared = match_records(breakdowns, records)
+        return {
+            "config": {
+                "interval": self.config.interval,
+                "sample_energy": self.config.sample_energy,
+                "keep_spans": self.config.keep_spans,
+                "histograms": self.config.histograms,
+            },
+            "workers": [w.name for w in self._workers],
+            "samples": self.sampler.samples,
+            "invocations": len(records),
+            "outcomes": outcomes,
+            "histograms": {
+                name: merged.histograms[name].summary()
+                for name in sorted(merged.histograms)
+            },
+            "decomposition": {
+                "invocations": len(breakdowns),
+                "matched_records": matched,
+                "compared_records": compared,
+                "rows": breakdown_rows(breakdowns),
+            },
+        }
+
+
+# ---------------------------------------------------------------- inspect
+def load_run(run_dir: Union[str, Path]) -> dict:
+    """Read a telemetry run directory back into memory.
+
+    Returns ``{"summary", "records", "spans", "timeseries", "metrics_text"}``
+    with missing files mapped to empty values, so partially exported
+    directories still inspect cleanly.
+    """
+    run_dir = Path(run_dir)
+    out: dict = {
+        "summary": {},
+        "records": [],
+        "spans": [],
+        "timeseries": [],
+        "metrics_text": "",
+    }
+    summary_path = run_dir / RUN_FILES["summary"]
+    if summary_path.exists():
+        out["summary"] = json.loads(summary_path.read_text())
+    records_path = run_dir / RUN_FILES["records"]
+    if records_path.exists():
+        with open(records_path) as fh:
+            out["records"] = [json.loads(line) for line in fh if line.strip()]
+    spans_path = run_dir / RUN_FILES["spans"]
+    if spans_path.exists():
+        out["spans"] = load_spans_jsonl(spans_path)
+    ts_path = run_dir / RUN_FILES["timeseries"]
+    if ts_path.exists():
+        with open(ts_path) as fh:
+            out["timeseries"] = [json.loads(line) for line in fh if line.strip()]
+    prom_path = run_dir / RUN_FILES["metrics"]
+    if prom_path.exists():
+        out["metrics_text"] = prom_path.read_text()
+    return out
+
+
+def _table(rows: list[dict], columns: list[tuple[str, str]]) -> list[str]:
+    """Minimal fixed-width text table: columns = [(key, header), ...]."""
+    def fmt(v):
+        return f"{v:.3f}" if isinstance(v, float) else str(v)
+
+    widths = {
+        key: max(len(header), *(len(fmt(r.get(key, ""))) for r in rows))
+        for key, header in columns
+    } if rows else {key: len(header) for key, header in columns}
+    header = "  ".join(h.ljust(widths[k]) for k, h in columns)
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append("  ".join(fmt(r.get(k, "")).ljust(widths[k]) for k, _ in columns))
+    return lines
+
+
+def inspect_report(run_dir: Union[str, Path]) -> str:
+    """Render a telemetry run directory as a human-readable report:
+    run overview, outcome tallies, latency percentiles, the Table-2-style
+    overhead decomposition, and a timeseries digest."""
+    run_dir = Path(run_dir)
+    data = load_run(run_dir)
+    summary = data["summary"]
+    lines: list[str] = [f"telemetry run: {run_dir}", ""]
+
+    if summary:
+        cfg = summary.get("config", {})
+        lines.append(
+            f"interval={cfg.get('interval')}s  samples={summary.get('samples')}  "
+            f"workers={len(summary.get('workers', []))}  "
+            f"invocations={summary.get('invocations')}"
+        )
+        outcomes = summary.get("outcomes", {})
+        if outcomes:
+            tally = "  ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+            lines.append(f"outcomes: {tally}")
+        lines.append("")
+
+        hists = summary.get("histograms", {})
+        if hists:
+            lines.append("latency distributions (seconds):")
+            rows = [
+                {"metric": name, **{k: s[k] for k in ("count", "mean", "p50", "p90", "p99")}}
+                for name, s in sorted(hists.items())
+            ]
+            lines.extend(_table(rows, [
+                ("metric", "metric"), ("count", "count"), ("mean", "mean"),
+                ("p50", "p50"), ("p90", "p90"), ("p99", "p99"),
+            ]))
+            lines.append("")
+
+    # Recompute the decomposition from the spans on disk so inspect works
+    # even on directories whose summary predates this report format.
+    breakdowns = decompose(data["spans"])
+    if breakdowns:
+        matched, compared = match_records(breakdowns, data["records"])
+        lines.append(
+            f"overhead decomposition ({len(breakdowns)} invocations; "
+            f"phase sums match {matched}/{compared} records):"
+        )
+        lines.extend(_table(breakdown_rows(breakdowns), [
+            ("phase", "phase"), ("mean", "mean_ms"),
+            ("p99", "p99_ms"), ("share_pct", "share_%"),
+        ]))
+        lines.append("")
+
+    ts = data["timeseries"]
+    if ts:
+        per_series: dict[str, int] = {}
+        for row in ts:
+            per_series[row.get("series", "?")] = per_series.get(row.get("series", "?"), 0) + 1
+        digest = "  ".join(f"{k}:{v}" for k, v in sorted(per_series.items()))
+        lines.append(f"timeseries rows: {len(ts)}  ({digest})")
+        worker_rows = [r for r in ts if "queue_depth" in r]
+        if worker_rows:
+            depth = [r["queue_depth"] for r in worker_rows]
+            running = [r["running"] for r in worker_rows]
+            lines.append(
+                f"mean queue depth {sum(depth) / len(depth):.3f}, "
+                f"mean running {sum(running) / len(running):.3f}, "
+                f"peak queue depth {max(depth)}"
+            )
+    if not (summary or breakdowns or ts):
+        lines.append("(no telemetry artifacts found)")
+    return "\n".join(lines).rstrip() + "\n"

@@ -135,3 +135,52 @@ def test_cluster_status_reports_policy():
     cl = Cluster(env, num_workers=2, config=_cfg(), lb_policy="least_loaded")
     assert cl.status()["policy"] == "least_loaded"
     assert cl.status()["forwards"] == 0  # not a CH-BL concept
+
+
+def test_status_board_refresh_on_interval_grid():
+    clock = {"t": 0.0}
+    loads = {"a": 1.0}
+    board = StatusBoard(clock=lambda: clock["t"],
+                        live_load_fn=loads.__getitem__, interval=10.0)
+    assert board.snapped_at is None  # nothing snapped before the first query
+    clock["t"] = 3.0
+    board.load("a")
+    assert board.snapped_at == 0.0   # epoch snaps to the grid, not t=3
+    clock["t"] = 27.5
+    board.load("a")
+    assert board.snapped_at == 20.0
+    # Epochs are always multiples of the interval.
+    assert board.snapped_at % board.interval == 0.0
+
+
+def test_status_board_stale_between_refreshes():
+    clock = {"t": 0.0}
+    loads = {"a": 1.0, "b": 5.0}
+    board = StatusBoard(clock=lambda: clock["t"],
+                        live_load_fn=loads.__getitem__, interval=10.0)
+    board.load("a")
+    loads["a"] = 100.0
+    for t in (1.0, 4.0, 9.999):
+        clock["t"] = t
+        assert board.load("a") == 1.0   # stale until the grid boundary
+    assert board.refreshes == 1
+    # A worker first queried mid-epoch is read lazily into the same epoch.
+    assert board.load("b") == 5.0
+    clock["t"] = 10.0
+    assert board.load("a") == 100.0     # exactly on the interval grid
+    assert board.refreshes == 2
+
+
+def test_status_board_publish_hook():
+    clock = {"t": 0.0}
+    loads = {"a": 1.0}
+    seen = []
+    board = StatusBoard(clock=lambda: clock["t"],
+                        live_load_fn=loads.__getitem__, interval=10.0,
+                        publish=lambda w, t, v: seen.append((w, t, v)))
+    board.load("a")
+    board.load("a")             # cached: not re-published
+    clock["t"] = 12.0
+    loads["a"] = 3.0
+    board.load("a")
+    assert seen == [("a", 0.0, 1.0), ("a", 12.0, 3.0)]

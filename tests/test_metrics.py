@@ -339,3 +339,88 @@ def test_energy_monitor_clock_backwards_rejected():
     clock["t"] = 5.0
     with pytest.raises(ValueError):
         mon.update(2.0)
+
+
+def test_energy_monitor_power_property():
+    clock = {"t": 0.0}
+    mon = EnergyMonitor(clock=lambda: clock["t"],
+                        model=EnergyModel(idle_watts=100.0, watts_per_core=10.0))
+    mon.update(0.0)
+    assert mon.power == 100.0
+    mon.update(4.0)
+    assert mon.power == 140.0
+
+
+def test_energy_monitor_joules_at_mid_interval():
+    clock = {"t": 0.0}
+    mon = EnergyMonitor(clock=lambda: clock["t"],
+                        model=EnergyModel(idle_watts=100.0, watts_per_core=10.0))
+    assert mon.joules_at(5.0) == 0.0  # not started yet
+    mon.update(2.0)           # 120 W from t=0
+    # Mid-interval read integrates the open segment without mutating it.
+    assert mon.joules_at(5.0) == pytest.approx(600.0)
+    assert mon.joules_at(5.0) == pytest.approx(600.0)  # repeatable
+    with pytest.raises(ValueError):
+        mon.joules_at(-1.0)   # clock going backwards
+    clock["t"] = 10.0
+    assert mon.finish() == pytest.approx(1200.0)  # reads did not double-count
+
+
+def test_energy_monitor_integrates_known_schedule():
+    # Busy-core schedule: 2 cores for 10 s, 5 cores for 20 s, idle for 30 s.
+    clock = {"t": 0.0}
+    mon = EnergyMonitor(clock=lambda: clock["t"],
+                        model=EnergyModel(idle_watts=50.0, watts_per_core=4.0))
+    mon.update(2.0)
+    clock["t"] = 10.0
+    mon.update(5.0)
+    clock["t"] = 30.0
+    mon.update(0.0)
+    clock["t"] = 60.0
+    joules = mon.finish()
+    expected = 58.0 * 10 + 70.0 * 20 + 50.0 * 30
+    assert joules == pytest.approx(expected)
+
+
+def test_span_jsonl_round_trip(tmp_path):
+    from repro.metrics import Span, dump_spans_jsonl, load_spans_jsonl
+
+    spans = [
+        Span("invoke", 0.0, 0.25, tag="1"),
+        Span("exec", 0.25, 0.25, tag="1"),      # zero-duration span
+        Span("lb_pick", 1.0, 1.001, tag=None),  # untagged
+        Span("dequeue", 2.0, 2.5, tag="weird tag with spaces"),
+    ]
+    path = tmp_path / "spans.jsonl"
+    assert dump_spans_jsonl(spans, path) == 4
+    loaded = load_spans_jsonl(path)
+    assert loaded == spans
+    assert loaded[1].duration == 0.0
+    assert loaded[2].tag is None
+
+
+def test_recorder_dump_load_round_trip(tmp_path):
+    rec, clock = _clocked_recorder()
+    rec.keep_spans = True
+    h = rec.begin("invoke", tag="inv-1")
+    clock["t"] += 0.5
+    rec.end(h)
+    rec.record_span("exec", 0.5, 1.5, tag="inv-1")
+    path = tmp_path / "spans.jsonl"
+    rec.dump_jsonl(path)
+    from repro.metrics import load_spans_jsonl
+
+    assert load_spans_jsonl(path) == rec.spans()
+
+
+def test_record_span_skips_aggregates():
+    rec, _ = _clocked_recorder()
+    rec.keep_spans = True
+    rec.record_span("exec", 0.0, 1.0, tag="1")
+    assert rec.names() == []          # not in the Table-2 aggregates
+    assert len(rec.spans()) == 1      # but retained for decomposition
+    with pytest.raises(ValueError):
+        rec.record_span("exec", 1.0, 0.5)
+    rec.keep_spans = False
+    rec.record_span("exec", 0.0, 1.0)  # no-op without keep_spans
+    assert len(rec.spans()) == 1

@@ -1,0 +1,51 @@
+"""Property test: the log-bucket histogram's quantile estimate is always
+within one bucket boundary of the exact empirical (nearest-rank) quantile."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import LogHistogram
+
+samples_strategy = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples=samples_strategy, q=st.floats(min_value=0.0, max_value=100.0))
+def test_quantile_within_one_bucket_of_exact(samples, q):
+    h = LogHistogram()  # default shape: 1e-5 .. 1e4, 10 buckets/decade
+    for s in samples:
+        h.observe(s)
+
+    rank = max(1, math.ceil(q / 100.0 * len(samples)))
+    exact = sorted(samples)[rank - 1]
+    est = h.quantile(q)
+
+    # The estimate and the exact nearest-rank quantile land in the same
+    # bucket or an adjacent one, regardless of input distribution.
+    assert abs(h.bucket_index(est) - h.bucket_index(exact)) <= 1
+    # The estimate never escapes the observed sample range.
+    assert 0.0 <= est <= h.maximum
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=samples_strategy)
+def test_count_total_and_extremes_exact(samples):
+    h = LogHistogram()
+    for s in samples:
+        h.observe(s)
+    assert h.count == len(samples)
+    assert math.isclose(h.total, math.fsum(samples), rel_tol=1e-12, abs_tol=1e-12)
+    assert h.minimum == min(samples)
+    assert h.maximum == max(samples)
+    assert sum(c for _, c in h.nonzero_buckets()) == len(samples)

@@ -1,0 +1,425 @@
+"""Tests for the telemetry pipeline: histograms, sampler, decomposition,
+exporters, run directories and the inspect CLI."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import WorkerConfig
+from repro.core.function import FunctionRegistration
+from repro.core.worker import Worker
+from repro.loadbalancer.cluster import Cluster
+from repro.metrics import LATENCY_HISTOGRAMS, LogHistogram, MetricsRegistry
+from repro.metrics.registry import InvocationRecord, Outcome
+from repro.sim.core import Environment
+from repro.telemetry import (
+    PHASES,
+    Telemetry,
+    TelemetryConfig,
+    TelemetrySampler,
+    Timeseries,
+    decompose,
+    dump_timeseries_csv,
+    inspect_report,
+    load_run,
+    match_records,
+    render_prometheus,
+)
+
+REG = FunctionRegistration(name="f", memory_mb=128, warm_time=0.1, cold_time=0.5)
+
+
+def _run_worker(n_invocations=3, telemetry_config=None, until=30.0):
+    """One worker, sequential invocations, optional telemetry attached."""
+    env = Environment()
+    worker = Worker(env, WorkerConfig(cores=2, memory_mb=4096))
+    telemetry = None
+    if telemetry_config is not None:
+        telemetry = Telemetry(env, telemetry_config)
+        telemetry.attach_worker(worker)
+        telemetry.start()
+    worker.start()
+    worker.register_sync(REG)
+
+    def drive():
+        for _ in range(n_invocations):
+            yield from worker.invoke(REG.fqdn())
+
+    env.process(drive(), name="drive")
+    env.run(until=until)
+    if telemetry is not None:
+        telemetry.stop()
+    return worker, telemetry
+
+
+# ---------------------------------------------------------------- histogram
+def test_histogram_bucket_semantics():
+    h = LogHistogram(lo=0.001, hi=10.0, buckets_per_decade=1)
+    # bounds = [0.001, 0.01, 0.1, 1.0, 10.0]; zero lands in bucket 0.
+    h.observe(0.0)
+    h.observe(0.001)     # == bounds[0] -> bucket 0
+    h.observe(0.005)     # (0.001, 0.01] -> bucket 1
+    h.observe(100.0)     # overflow
+    assert h.count == 4
+    assert h.counts[0] == 2
+    assert h.counts[1] == 1
+    assert h.counts[-1] == 1
+    assert h.minimum == 0.0 and h.maximum == 100.0
+
+
+def test_histogram_rejects_bad_samples():
+    h = LogHistogram()
+    with pytest.raises(ValueError):
+        h.observe(-1.0)
+    with pytest.raises(ValueError):
+        h.observe(float("nan"))
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        LogHistogram(lo=0.0)
+    with pytest.raises(ValueError):
+        LogHistogram(lo=1.0, hi=0.5)
+    with pytest.raises(ValueError):
+        LogHistogram(buckets_per_decade=0)
+    h = LogHistogram()
+    with pytest.raises(ValueError):
+        h.quantile(101)
+    assert math.isnan(h.quantile(50))
+
+
+def test_histogram_quantiles_bounded_by_bucket():
+    h = LogHistogram(lo=1e-4, hi=1e3, buckets_per_decade=10)
+    # Stays within [lo, hi]: in-range samples get the one-bucket guarantee
+    # (the overflow bucket is only bounded by the observed max).
+    samples = [0.01 * 1.07**i for i in range(150)]
+    for s in samples:
+        h.observe(s)
+    samples.sort()
+    for q in (50, 90, 99, 100):
+        rank = max(1, math.ceil(q / 100 * len(samples)))
+        exact = samples[rank - 1]
+        est = h.quantile(q)
+        # Estimate within one geometric bucket of the exact quantile.
+        assert exact / h.growth <= est <= exact * h.growth
+    assert h.quantile(100) == pytest.approx(h.maximum)
+
+
+def test_histogram_merge():
+    a, b = LogHistogram(), LogHistogram()
+    for v in (0.1, 0.2):
+        a.observe(v)
+    for v in (0.4, 0.8):
+        b.observe(v)
+    a.merge(b)
+    assert a.count == 4
+    assert a.total == pytest.approx(1.5)
+    assert a.maximum == 0.8
+    with pytest.raises(ValueError):
+        a.merge(LogHistogram(lo=1e-3))
+
+
+def test_histogram_cumulative_and_reset():
+    h = LogHistogram(lo=0.1, hi=10.0, buckets_per_decade=1)
+    h.observe(0.5)
+    pairs = list(h.cumulative())
+    assert pairs[-1] == (float("inf"), 1)
+    cums = [c for _, c in pairs]
+    assert cums == sorted(cums)  # cumulative counts are monotone
+    h.reset()
+    assert h.count == 0 and h.maximum is None
+
+
+def test_registry_latency_histograms_opt_in():
+    reg = MetricsRegistry()
+    rec = InvocationRecord(
+        function="f", arrival=0.0, outcome=Outcome.WARM,
+        exec_time=0.1, e2e_time=0.15, queue_time=0.02, overhead=0.05,
+    )
+    reg.record_invocation(rec)
+    assert reg.histograms == {}  # off by default: nothing allocated
+    reg.enable_latency_histograms()
+    reg.record_invocation(rec)
+    reg.record_invocation(
+        InvocationRecord(function="f", arrival=0.0, outcome=Outcome.DROPPED)
+    )
+    for name in LATENCY_HISTOGRAMS:
+        assert reg.histograms[name].count == 1  # drop not observed
+    assert reg.histograms["e2e_seconds"].maximum == pytest.approx(0.15)
+    reg.reset()
+    assert reg.latency_histograms_enabled  # survives reset, empty again
+    assert all(reg.histograms[n].count == 0 for n in LATENCY_HISTOGRAMS)
+
+
+# --------------------------------------------------------------- timeseries
+def test_timeseries_append_and_rows():
+    ts = Timeseries(("t", "x"))
+    ts.append(0.0, 1)
+    ts.append(1.0, 2)
+    assert len(ts) == 2
+    assert ts.column("x") == [1, 2]
+    assert list(ts.rows()) == [{"t": 0.0, "x": 1}, {"t": 1.0, "x": 2}]
+    with pytest.raises(ValueError):
+        ts.append(2.0)
+    with pytest.raises(ValueError):
+        Timeseries(())
+    with pytest.raises(ValueError):
+        Timeseries(("a", "a"))
+
+
+def test_telemetry_config_validation():
+    with pytest.raises(ValueError):
+        TelemetryConfig(interval=0.0)
+    with pytest.raises(ValueError):
+        TelemetrySampler(Environment(), interval=-1.0)
+
+
+# ------------------------------------------------------------------ sampler
+def test_sampler_snapshots_on_grid():
+    worker, telemetry = _run_worker(
+        n_invocations=3, telemetry_config=TelemetryConfig(interval=1.0)
+    )
+    ts = telemetry.series[worker.name]
+    assert set(ts.columns) == {
+        "t", "queue_depth", "running", "warm_containers",
+        "in_use_containers", "memory_used_mb", "busy_cores",
+    }
+    times = ts.column("t")
+    assert times == [float(i) for i in range(1, len(times) + 1)]
+    assert telemetry.sampler.samples == len(times)
+    # The warm container parked after the run shows up in the tail samples.
+    assert ts.column("warm_containers")[-1] == 1
+    assert ts.column("memory_used_mb")[-1] == pytest.approx(128.0)
+
+
+def test_sampler_energy_columns_opt_in():
+    worker, telemetry = _run_worker(
+        n_invocations=2,
+        telemetry_config=TelemetryConfig(interval=1.0, sample_energy=True),
+    )
+    ts = telemetry.series[worker.name]
+    assert "power_w" in ts.columns and "energy_j" in ts.columns
+    energy = ts.column("energy_j")
+    assert energy == sorted(energy)  # energy is non-decreasing
+    assert energy[-1] > 0.0
+    # Sampling must not have perturbed the monitor's own integration.
+    assert worker.energy.joules_at(telemetry.env.now) >= energy[-1]
+
+
+def test_sampler_double_start_and_duplicate_worker_rejected():
+    env = Environment()
+    worker = Worker(env, WorkerConfig())
+    sampler = TelemetrySampler(env, interval=1.0)
+    sampler.attach_worker(worker)
+    with pytest.raises(ValueError):
+        sampler.attach_worker(worker)
+    sampler.start()
+    with pytest.raises(RuntimeError):
+        sampler.start()
+
+
+# ------------------------------------------------------------ decomposition
+def test_decomposition_phases_sum_to_recorded_overhead():
+    worker, telemetry = _run_worker(
+        n_invocations=4, telemetry_config=TelemetryConfig()
+    )
+    records = [r for r in telemetry.records()]
+    breakdowns = telemetry.breakdowns()
+    assert len(breakdowns) == 4
+    assert breakdowns[0].cold and not breakdowns[1].cold
+    by_id = {b.invocation_id: b for b in breakdowns}
+    for rec in records:
+        b = by_id[rec.invocation_id]
+        assert b.overhead == pytest.approx(rec.overhead, abs=1e-9)
+        assert b.exec_time == pytest.approx(rec.exec_time)
+        assert set(b.phases) == set(PHASES)
+    matched, compared = match_records(breakdowns, records)
+    assert (matched, compared) == (4, 4)
+
+
+def test_decomposition_skips_untagged_and_execless_groups():
+    from repro.metrics.spans import Span
+
+    spans = [
+        Span("invoke", 0.0, 0.1, tag=None),          # untagged -> ignored
+        Span("lb_pick", 0.0, 0.1, tag="fn-fqdn"),    # no exec span -> skipped
+        Span("invoke", 0.0, 0.1, tag="7"),
+        Span("exec", 0.1, 0.3, tag="7"),
+        Span("weird_component", 0.3, 0.4, tag="7"),  # unknown -> "other"
+    ]
+    out = decompose(spans)
+    assert len(out) == 1
+    b = out[0]
+    assert b.invocation_id == 7
+    assert b.phases["queue"] == pytest.approx(0.1)
+    assert b.phases["other"] == pytest.approx(0.1)
+    assert b.exec_time == pytest.approx(0.2)
+
+
+def test_decomposition_counts_queue_wait_gap():
+    from repro.metrics.spans import Span
+
+    spans = [
+        Span("add_item_to_q", 0.0, 0.1, tag="1"),
+        Span("dequeue", 0.6, 0.7, tag="1"),  # 0.5 s waiting in queue
+        Span("exec", 0.7, 1.0, tag="1"),
+    ]
+    b = decompose(spans)[0]
+    assert b.phases["queue"] == pytest.approx(0.1 + 0.1 + 0.5)
+
+
+# -------------------------------------------------------------- exporters
+def test_timeseries_csv_round_trip(tmp_path):
+    ts = Timeseries(("t", "v"))
+    ts.append(0.0, 1.5)
+    ts.append(1.0, 2.5)
+    path = tmp_path / "ts.csv"
+    assert dump_timeseries_csv(ts, path) == 2
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "t,v"
+    assert lines[1] == "0.0,1.5"
+
+
+PROM_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? '
+    r"[0-9eE+.\-]+|[+-]Inf|NaN$"
+)
+
+
+def test_prometheus_rendering_parses():
+    reg = MetricsRegistry()
+    reg.incr("scheduler.bypass", 3)
+    reg.set_gauge("pool.memory-used", 42.5)
+    reg.enable_latency_histograms()
+    reg.record_invocation(
+        InvocationRecord(
+            function="f", arrival=0.0, outcome=Outcome.WARM,
+            exec_time=0.1, e2e_time=0.15, queue_time=0.02, overhead=0.05,
+        )
+    )
+    text = render_prometheus(reg)
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    for line in lines:
+        if not line or line.startswith("#"):
+            continue
+        assert PROM_LINE.match(line), f"bad exposition line: {line!r}"
+    assert "repro_scheduler_bypass_total 3" in lines
+    assert "repro_pool_memory_used 42.5" in lines
+    # Histogram family: buckets, +Inf closer, sum and count.
+    assert any(
+        line.startswith("repro_e2e_seconds_bucket{le=") for line in lines
+    )
+    assert 'repro_e2e_seconds_bucket{le="+Inf"} 1' in lines
+    assert "repro_e2e_seconds_count 1" in lines
+    # TYPE declarations for all three metric kinds.
+    joined = "\n".join(lines)
+    for kind in ("counter", "gauge", "histogram"):
+        assert f" {kind}" in joined
+
+
+# ------------------------------------------------------ run dirs + inspect
+def test_export_load_run_and_inspect(tmp_path):
+    worker, telemetry = _run_worker(
+        n_invocations=3,
+        telemetry_config=TelemetryConfig(interval=1.0, sample_energy=True),
+    )
+    run_dir = tmp_path / "run"
+    paths = telemetry.export(run_dir)
+    assert sorted(p.name for p in paths.values()) == [
+        "metrics.prom", "records.jsonl", "spans.jsonl",
+        "summary.json", "timeseries.jsonl",
+    ]
+    data = load_run(run_dir)
+    assert len(data["records"]) == 3
+    assert data["summary"]["invocations"] == 3
+    assert data["summary"]["decomposition"]["matched_records"] == 3
+    assert data["metrics_text"].startswith("# HELP")
+    # Every timeseries row round-trips with its series name attached.
+    assert all(row["series"] == worker.name for row in data["timeseries"])
+    ts_row = data["timeseries"][0]
+    assert "power_w" in ts_row and "queue_depth" in ts_row
+
+    report = inspect_report(run_dir)
+    assert "overhead decomposition" in report
+    assert "phase sums match 3/3 records" in report
+    assert "latency distributions" in report
+
+
+def test_inspect_empty_dir(tmp_path):
+    report = inspect_report(tmp_path)
+    assert "no telemetry artifacts" in report
+
+
+def test_records_jsonl_schema(tmp_path):
+    _, telemetry = _run_worker(n_invocations=2, telemetry_config=TelemetryConfig())
+    telemetry.export(tmp_path)
+    with open(tmp_path / "records.jsonl") as fh:
+        rows = [json.loads(line) for line in fh]
+    assert len(rows) == 2
+    assert rows[0]["outcome"] == "cold" and rows[1]["outcome"] == "warm"
+    # IDs come from a global counter: positive, distinct, arrival-ordered.
+    ids = [r["invocation_id"] for r in rows]
+    assert all(i > 0 for i in ids) and ids == sorted(ids) and len(set(ids)) == 2
+    assert rows[0]["e2e_time"] >= rows[0]["exec_time"]
+
+
+# ------------------------------------------------------------- cluster + CLI
+def test_cluster_telemetry_and_statusboard_publish(tmp_path):
+    env = Environment()
+    cluster = Cluster(
+        env, num_workers=2,
+        config=WorkerConfig(cores=2, memory_mb=4096),
+        status_interval=5.0,
+    )
+    telemetry = Telemetry(env, TelemetryConfig(interval=1.0))
+    cluster.attach_telemetry(telemetry)
+    telemetry.start()
+    cluster.start()
+    cluster.register_sync(REG)
+
+    def drive():
+        for _ in range(6):
+            yield from cluster.invoke(REG.fqdn())
+
+    env.process(drive(), name="drive")
+    env.run(until=30.0)
+    telemetry.stop()
+
+    assert set(telemetry.series) == set(cluster.workers)
+    # The status board published the load values the balancer acted on.
+    assert len(telemetry.sampler.lb_loads) > 0
+    loads = list(telemetry.sampler.lb_loads.rows())
+    assert all(row["worker"] in cluster.workers for row in loads)
+
+    run_dir = tmp_path / "cluster-run"
+    telemetry.export(run_dir)
+    data = load_run(run_dir)
+    series_names = {row["series"] for row in data["timeseries"]}
+    assert "lb" in series_names
+    # LB spans are retained but never confused with invocations.
+    summary = data["summary"]
+    assert summary["decomposition"]["invocations"] == 6
+    assert summary["decomposition"]["matched_records"] == 6
+
+
+def test_cli_inspect_command(tmp_path, capsys):
+    _, telemetry = _run_worker(n_invocations=2, telemetry_config=TelemetryConfig())
+    run_dir = tmp_path / "run"
+    telemetry.export(run_dir)
+    assert main(["inspect", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "overhead decomposition" in out
+    assert "telemetry run" in out
+
+
+def test_cli_telemetry_env_fallback(tmp_path, monkeypatch, capsys):
+    run_dir = tmp_path / "env-run"
+    monkeypatch.setenv("REPRO_TELEMETRY", str(run_dir))
+    assert main(["--scale", "small", "cluster-study"]) == 0
+    out = capsys.readouterr().out
+    assert f"telemetry run exported to {run_dir}" in out
+    assert (run_dir / "summary.json").exists()
