@@ -2,15 +2,20 @@
 
 This worker exposes the same ``register_sync`` / ``invoke`` /
 ``async_invoke`` surface as :class:`repro.core.worker.Worker` so load
-generators and experiments are backend-agnostic, but its invocation path
-reproduces OpenWhisk's architecture and failure modes:
+generators and experiments are backend-agnostic, and it drives the same
+:class:`repro.core.lifecycle.InvocationContext` through the stages whose
+semantics it shares (``admit → enqueue → acquire → (warm | cold_create)
+→ execute → complete/drop``) — but its latency components and queueing
+reproduce OpenWhisk's architecture and failure modes:
 
 * NGINX → controller → **shared Kafka queue** → invoker → container, with
-  a **CouchDB write on the critical path**;
+  a **CouchDB write on the critical path** (those are its ``enqueue`` and
+  ``complete`` stages);
 * **JVM GC pauses** stalling the pipeline;
 * **no invocation queue or concurrency regulation** — admission is by
   container *memory* only, so CPUs are overcommitted and execution times
-  stretch under load (processor sharing);
+  stretch under load (processor sharing); there is no ``dispatch`` stage
+  because there is no dispatcher;
 * a bounded activation buffer: invocations that cannot obtain memory
   within a timeout, or that arrive to a full buffer, are **dropped**;
 * keep-alive by **10-minute TTL** (LRU order under pressure) by default.
@@ -22,7 +27,7 @@ exactly the comparison Figures 6 and 7 make.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
 from typing import Generator, Optional
 
@@ -32,6 +37,18 @@ from ..containers.backends import NullBackend
 from ..core.characteristics import CharacteristicsMap
 from ..core.container_pool import ContainerPool
 from ..core.function import FunctionRegistration, Invocation
+from ..core.lifecycle import (
+    ACQUIRE,
+    ADMIT,
+    COLD_CREATE,
+    COMPLETE,
+    ENQUEUE,
+    EXECUTE,
+    WARM,
+    DROP,
+    InvocationContext,
+    StageTracker,
+)
 from ..errors import DuplicateRegistration, FunctionNotRegistered
 from ..keepalive.policies import make_policy
 from ..metrics.registry import InvocationRecord, MetricsRegistry, Outcome
@@ -111,6 +128,9 @@ class OpenWhiskWorker:
         self.spans = SpanRecorder(
             clock=partial(getattr, env, "now"), enabled=cfg.tracing_enabled
         )
+        # The shared stage contract: same context type, hooks, and stage
+        # names as the Ilúvatar worker's pipeline, OpenWhisk semantics.
+        self.lifecycle = StageTracker(env)
         self.registrations: dict[str, FunctionRegistration] = {}
         self.inflight = 0          # activations inside the pipeline
         self.executing = 0         # activations actually on-CPU
@@ -153,113 +173,168 @@ class OpenWhiskWorker:
 
     # ------------------------------------------------------------ pipeline
     def _pipeline(self, inv: Invocation, done: Event) -> Generator:
-        cfg = self.config
-        fqdn = inv.function.fqdn()
-        self.characteristics.record_arrival(fqdn, self.env.now)
+        """Drive the shared stage sequence with OpenWhisk's components."""
+        lc = self.lifecycle
+        ctx = lc.open(inv, done)
+        self.characteristics.record_arrival(inv.function.fqdn(), self.env.now)
 
-        if self.inflight >= cfg.buffer_max:
-            self._drop(inv, done, "activation buffer full")
+        if not self._admit(ctx):
+            self._drop(ctx, "activation buffer full")
             return
 
-        spans = self.spans
         self.inflight += 1
         try:
-            # Front end.
-            handle = spans.begin("nginx")
-            yield self.env.timeout(self.nginx.latency(self.rng))
-            spans.end(handle)
-            yield from self.gc.stall()
-            handle = spans.begin("controller")
-            yield self.env.timeout(self.controller.latency(self.rng, self.inflight))
-            spans.end(handle)
-
-            # Shared Kafka queue (controller -> invoker).
-            self.kafka_backlog += 1
-            handle = spans.begin("kafka")
-            try:
-                yield self.env.timeout(
-                    self.kafka.latency(self.rng, self.kafka_backlog)
-                )
-            finally:
-                spans.end(handle)
-                self.kafka_backlog -= 1
-            yield from self.gc.stall()
-
-            # Invoker: admission by memory only (CPU is overcommitted).
-            inv.enqueued_at = self.env.now
-            entry = self.pool.try_acquire(fqdn)
-            if entry is not None:
-                inv.cold = False
-            else:
-                inv.cold = True
-                took = yield from self._take_memory(inv.function.memory_mb)
-                if not took:
-                    self._drop(inv, done, "insufficient memory")
-                    return
-                # Docker container create (no namespace pool, no reuse).
-                handle = spans.begin("container_create", tag=fqdn)
-                create = cfg.container_create_mean
-                yield self.env.timeout(
-                    create + float(self.rng.exponential(0.15 * create))
-                )
-                container = yield self.env.process(
-                    self.backend.create(inv.function)
-                )
-                spans.end(handle)
-                entry = self.pool.add_in_use(
-                    container, init_cost=inv.function.init_time
-                )
-            inv.dispatched_at = self.env.now
-
-            # Execute, with processor-sharing stretch under overcommit
-            # (OpenWhisk has no concurrency regulation: when more
-            # activations execute than there are cores, everyone slows).
-            base_exec = inv.function.cold_time if inv.cold else inv.function.warm_time
-            self.executing += 1
-            try:
-                stretch = 1.0
-                if cfg.enable_cpu_stretch:
-                    stretch = max(1.0, self.executing / cfg.cores)
-                exec_time = base_exec * stretch
-                inv.exec_started_at = self.env.now
-                yield self.env.process(
-                    self.backend.invoke(entry.container, exec_time)
-                )
-            finally:
-                self.executing -= 1
-            inv.exec_finished_at = inv.exec_started_at + base_exec
-            # (overhead accounting treats the stretch beyond the base
-            # execution as control-plane-induced slowdown, which is how
-            # the paper's "overhead" subtraction observes it too)
-
-            self.pool.return_entry(entry)
-
-            # Result logging: CouchDB write on the critical path.
-            yield from self.gc.stall()
-            handle = spans.begin("couchdb")
-            yield self.env.timeout(
-                self.couchdb.write_latency(self.rng, self.inflight)
-            )
-            spans.end(handle)
-
-            inv.completed_at = self.env.now
-            self.characteristics.record_execution(fqdn, base_exec, inv.cold)
-            self.metrics.record_invocation(
-                InvocationRecord(
-                    function=fqdn,
-                    arrival=inv.arrival,
-                    outcome=Outcome.COLD if inv.cold else Outcome.WARM,
-                    exec_time=inv.exec_time,
-                    e2e_time=inv.e2e_time,
-                    queue_time=inv.queue_time,
-                    overhead=inv.overhead,
-                    cold=inv.cold,
-                    worker=self.name,
-                )
-            )
-            done.succeed(inv)
+            yield from self._frontend(ctx)
+            ok = yield from self._acquire(ctx)
+            if not ok:
+                return
+            yield from self._execute(ctx)
+            yield from self._complete(ctx)
         finally:
             self.inflight -= 1
+
+    def _admit(self, ctx: InvocationContext) -> bool:
+        """Admit stage: the bounded activation buffer is the only gate."""
+        lc = self.lifecycle
+        lc.stage_enter(ctx, ADMIT)
+        admitted = self.inflight < self.config.buffer_max
+        lc.stage_exit(ctx, ADMIT)
+        return admitted
+
+    def _frontend(self, ctx: InvocationContext) -> Generator:
+        """Enqueue stage: NGINX → controller → the shared Kafka queue.
+
+        OpenWhisk's "queue" is this front-end pipeline; ``enqueued_at`` is
+        the moment the activation reaches the invoker.
+        """
+        spans = self.spans
+        lc = self.lifecycle
+        lc.stage_enter(ctx, ENQUEUE)
+        handle = spans.begin("nginx")
+        yield self.env.timeout(self.nginx.latency(self.rng))
+        spans.end(handle)
+        yield from self.gc.stall()
+        handle = spans.begin("controller")
+        yield self.env.timeout(self.controller.latency(self.rng, self.inflight))
+        spans.end(handle)
+
+        # Shared Kafka queue (controller -> invoker).
+        self.kafka_backlog += 1
+        handle = spans.begin("kafka")
+        try:
+            yield self.env.timeout(
+                self.kafka.latency(self.rng, self.kafka_backlog)
+            )
+        finally:
+            spans.end(handle)
+            self.kafka_backlog -= 1
+        yield from self.gc.stall()
+        ctx.inv.enqueued_at = self.env.now
+        lc.stage_exit(ctx, ENQUEUE)
+
+    def _acquire(self, ctx: InvocationContext) -> Generator:
+        """Acquire + warm/cold_create stages: admission by memory only
+        (CPU is overcommitted).  False when the invocation was shed."""
+        cfg = self.config
+        lc = self.lifecycle
+        inv = ctx.inv
+        lc.stage_enter(ctx, ACQUIRE)
+        ctx.entry = self.pool.try_acquire(inv.function.fqdn())
+        lc.stage_exit(ctx, ACQUIRE)
+        if ctx.entry is not None:
+            # Warm reuse costs OpenWhisk nothing beyond the front end.
+            lc.stage_enter(ctx, WARM)
+            inv.cold = False
+            lc.stage_exit(ctx, WARM)
+        else:
+            inv.cold = True
+            lc.stage_enter(ctx, COLD_CREATE)
+            took = yield from self._take_memory(inv.function.memory_mb)
+            if not took:
+                lc.stage_exit(ctx, COLD_CREATE)
+                self._drop(ctx, "insufficient memory")
+                return False
+            # Docker container create (no namespace pool, no reuse).
+            handle = self.spans.begin("container_create", tag=inv.function.fqdn())
+            create = cfg.container_create_mean
+            yield self.env.timeout(
+                create + float(self.rng.exponential(0.15 * create))
+            )
+            container = yield self.env.process(
+                self.backend.create(inv.function)
+            )
+            self.spans.end(handle)
+            ctx.entry = self.pool.add_in_use(
+                container, init_cost=inv.function.init_time
+            )
+            lc.stage_exit(ctx, COLD_CREATE)
+        inv.dispatched_at = self.env.now
+        return True
+
+    def _execute(self, ctx: InvocationContext) -> Generator:
+        """Execute stage, with processor-sharing stretch under overcommit
+        (OpenWhisk has no concurrency regulation: when more activations
+        execute than there are cores, everyone slows)."""
+        cfg = self.config
+        lc = self.lifecycle
+        inv = ctx.inv
+        lc.stage_enter(ctx, EXECUTE)
+        base_exec = inv.function.cold_time if inv.cold else inv.function.warm_time
+        ctx.exec_time = base_exec
+        self.executing += 1
+        try:
+            stretch = 1.0
+            if cfg.enable_cpu_stretch:
+                stretch = max(1.0, self.executing / cfg.cores)
+            exec_time = base_exec * stretch
+            inv.exec_started_at = self.env.now
+            yield self.env.process(
+                self.backend.invoke(ctx.entry.container, exec_time)
+            )
+        finally:
+            self.executing -= 1
+        inv.exec_finished_at = inv.exec_started_at + base_exec
+        # (overhead accounting treats the stretch beyond the base
+        # execution as control-plane-induced slowdown, which is how
+        # the paper's "overhead" subtraction observes it too)
+        lc.stage_exit(ctx, EXECUTE)
+
+    def _complete(self, ctx: InvocationContext) -> Generator:
+        """Complete stage: container back to the pool, then the CouchDB
+        result write on the critical path."""
+        lc = self.lifecycle
+        inv = ctx.inv
+        fqdn = inv.function.fqdn()
+        lc.stage_enter(ctx, COMPLETE)
+        self.pool.return_entry(ctx.entry)
+        ctx.entry = None
+
+        yield from self.gc.stall()
+        handle = self.spans.begin("couchdb")
+        yield self.env.timeout(
+            self.couchdb.write_latency(self.rng, self.inflight)
+        )
+        self.spans.end(handle)
+
+        inv.completed_at = self.env.now
+        self.characteristics.record_execution(fqdn, ctx.exec_time, inv.cold)
+        outcome = Outcome.COLD if inv.cold else Outcome.WARM
+        self.metrics.record_invocation(
+            InvocationRecord(
+                function=fqdn,
+                arrival=inv.arrival,
+                outcome=outcome,
+                exec_time=inv.exec_time,
+                e2e_time=inv.e2e_time,
+                queue_time=inv.queue_time,
+                overhead=inv.overhead,
+                cold=inv.cold,
+                worker=self.name,
+            )
+        )
+        lc.stage_exit(ctx, COMPLETE)
+        lc.close(ctx, outcome)
+        ctx.done.succeed(inv)
 
     def _take_memory(self, memory_mb: float) -> Generator:
         if self.memory.try_take(memory_mb):
@@ -273,7 +348,11 @@ class OpenWhiskWorker:
         take.callbacks.append(lambda _e: self.memory.give(memory_mb))
         return False
 
-    def _drop(self, inv: Invocation, done: Event, reason: str) -> None:
+    def _drop(self, ctx: InvocationContext, reason: str) -> None:
+        """Drop stage: buffer overflow or memory-admission failure."""
+        lc = self.lifecycle
+        inv = ctx.inv
+        lc.stage_enter(ctx, DROP)
         inv.dropped = True
         inv.drop_reason = reason
         inv.completed_at = self.env.now
@@ -286,7 +365,9 @@ class OpenWhiskWorker:
                 worker=self.name,
             )
         )
-        done.succeed(inv)
+        lc.stage_exit(ctx, DROP)
+        lc.close(ctx, Outcome.DROPPED)
+        ctx.done.succeed(inv)
 
     # -------------------------------------------------------------- status
     def status(self) -> dict:

@@ -4,6 +4,13 @@ from .characteristics import CharacteristicsMap, FunctionStats, MovingAverage
 from .config import WorkerConfig, WorkerLatencyProfile, load_config
 from .container_pool import ContainerPool, PoolEntry
 from .function import FunctionRegistration, Invocation, InvocationResult
+from .lifecycle import (
+    STAGES,
+    InvocationContext,
+    InvocationLifecycle,
+    StageHooks,
+    StageTracker,
+)
 from .worker import Worker
 
 __all__ = [
@@ -18,5 +25,10 @@ __all__ = [
     "FunctionRegistration",
     "Invocation",
     "InvocationResult",
+    "STAGES",
+    "InvocationContext",
+    "InvocationLifecycle",
+    "StageHooks",
+    "StageTracker",
     "Worker",
 ]

@@ -1,0 +1,840 @@
+"""The explicit invocation-lifecycle pipeline (the control plane's spine).
+
+The paper's Table 2 describes an invocation as a fixed sequence of
+control-plane steps; this module makes that sequence a first-class
+pipeline instead of control flow buried inside one worker method:
+
+    admit -> enqueue -> dispatch -> acquire -> (warm | cold_create)
+          -> execute -> complete / drop / timeout
+
+Three pieces make up the seam:
+
+* :class:`InvocationContext` — one invocation's full control-plane state:
+  the invocation (and through it the registration), the completion event,
+  the container entry, per-stage enter/exit timestamps, the component
+  intervals telemetry decomposes, and the final outcome or drop reason.
+* :class:`StageHooks` — a registered callable per stage boundary, no-op
+  (and unchecked beyond one attribute load) by default.  This is the
+  extension seam future policies plug into: fault injection, per-stage
+  admission, backend selection.
+* :class:`InvocationLifecycle` — the worker's stages as named units with
+  a uniform enter/exit contract.  Each stage spends its component
+  latencies as DES timeouts with paired spans, exactly as the worker's
+  previous inlined control flow did: the pipeline is behaviour-preserving
+  by construction, pinned bit-for-bit by the determinism suites and the
+  golden A/B fixture under ``tests/data/``.
+
+:class:`StageTracker` is the substrate the OpenWhisk baseline shares: it
+owns the context store, the hooks, and the enter/exit contract, while the
+baseline keeps its own latency components and queueing semantics.
+
+Hot-path discipline: component latencies are spent inline (a
+contextmanager or per-component sub-generator costs an allocation per
+component per invocation), stage stamps and hook dispatch cost one
+attribute load when nobody observes, and per-invocation interval
+collection is off unless telemetry attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..keepalive.policies import HistogramPolicy
+from ..metrics.registry import InvocationRecord, Outcome
+from ..sim.core import Event
+from .function import FunctionRegistration, Invocation
+
+__all__ = [
+    "ADMIT",
+    "ENQUEUE",
+    "DISPATCH",
+    "ACQUIRE",
+    "WARM",
+    "COLD_CREATE",
+    "EXECUTE",
+    "COMPLETE",
+    "DROP",
+    "TIMEOUT",
+    "STAGES",
+    "InvocationContext",
+    "StageHooks",
+    "StageTracker",
+    "InvocationLifecycle",
+]
+
+# Stage names, in pipeline order.  ``warm`` and ``cold_create`` are the
+# two branches of container acquisition; ``complete``/``drop``/``timeout``
+# are the three terminal stages.
+ADMIT = "admit"
+ENQUEUE = "enqueue"
+DISPATCH = "dispatch"
+ACQUIRE = "acquire"
+WARM = "warm"
+COLD_CREATE = "cold_create"
+EXECUTE = "execute"
+COMPLETE = "complete"
+DROP = "drop"
+TIMEOUT = "timeout"
+
+STAGES = (
+    ADMIT,
+    ENQUEUE,
+    DISPATCH,
+    ACQUIRE,
+    WARM,
+    COLD_CREATE,
+    EXECUTE,
+    COMPLETE,
+    DROP,
+    TIMEOUT,
+)
+
+TERMINAL_STAGES = (COMPLETE, DROP, TIMEOUT)
+
+
+class InvocationContext:
+    """One invocation's state as it travels the stage pipeline.
+
+    Carries the :class:`~repro.core.function.Invocation` (and through it
+    the registration and its accumulating timestamps), the completion
+    event, the regulator token and container entry currently held, the
+    per-stage ``stage_times`` (stamped when hooks or telemetry observe),
+    the retained component ``intervals`` telemetry decomposes (collected
+    only when a :class:`~repro.telemetry.Telemetry` pipeline attached),
+    and the terminal ``outcome``.
+    """
+
+    __slots__ = (
+        "inv",
+        "done",
+        "tag",
+        "collect",
+        "token",
+        "entry",
+        "stage",
+        "stage_times",
+        "intervals",
+        "warm_available",
+        "exec_time",
+        "outcome",
+    )
+
+    def __init__(
+        self,
+        inv: Invocation,
+        done: Event,
+        tag: Optional[str] = None,
+        collect: bool = False,
+    ):
+        self.inv = inv
+        self.done = done
+        self.tag = tag
+        self.collect = collect
+        self.token = None
+        self.entry = None
+        self.stage: Optional[str] = None
+        self.stage_times: Optional[dict] = None
+        self.intervals: Optional[list] = [] if collect else None
+        self.warm_available = False
+        self.exec_time: Optional[float] = None
+        self.outcome: Optional[Outcome] = None
+
+    # Convenience views over the carried invocation.
+    @property
+    def registration(self) -> FunctionRegistration:
+        return self.inv.function
+
+    @property
+    def invocation_id(self) -> int:
+        return self.inv.id
+
+    @property
+    def cold(self) -> bool:
+        return self.inv.cold
+
+    @property
+    def drop_reason(self) -> Optional[str]:
+        return self.inv.drop_reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InvocationContext(id={self.inv.id}, "
+            f"function={self.inv.function.fqdn()!r}, stage={self.stage!r}, "
+            f"outcome={self.outcome})"
+        )
+
+
+class StageHooks:
+    """Callables fired at stage boundaries; no-op by default.
+
+    ``on_enter(stage, fn)`` / ``on_exit(stage, fn)`` register
+    ``fn(stage, context)`` to run when the pipeline enters / exits the
+    stage.  Multiple callables per boundary run in registration order.
+    Hooks observe and may annotate the context; they must not yield (the
+    pipeline's timing is not theirs to spend) — policies that need to
+    spend time belong in a stage of their own in a future PR.
+    """
+
+    __slots__ = ("_enter", "_exit", "active")
+
+    def __init__(self):
+        self._enter: dict[str, list[Callable]] = {}
+        self._exit: dict[str, list[Callable]] = {}
+        self.active = False
+
+    @staticmethod
+    def _check(stage: str) -> None:
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}; stages are {STAGES}")
+
+    def on_enter(self, stage: str, fn: Callable[[str, InvocationContext], None]):
+        self._check(stage)
+        self._enter.setdefault(stage, []).append(fn)
+        self.active = True
+        return fn
+
+    def on_exit(self, stage: str, fn: Callable[[str, InvocationContext], None]):
+        self._check(stage)
+        self._exit.setdefault(stage, []).append(fn)
+        self.active = True
+        return fn
+
+    def clear(self) -> None:
+        self._enter.clear()
+        self._exit.clear()
+        self.active = False
+
+    def fire_enter(self, stage: str, ctx: InvocationContext) -> None:
+        for fn in self._enter.get(stage, ()):
+            fn(stage, ctx)
+
+    def fire_exit(self, stage: str, ctx: InvocationContext) -> None:
+        for fn in self._exit.get(stage, ()):
+            fn(stage, ctx)
+
+
+class StageTracker:
+    """The uniform stage enter/exit contract plus the context store.
+
+    Shared by the worker's :class:`InvocationLifecycle` and the OpenWhisk
+    baseline: both stamp stage boundaries through :meth:`stage_enter` /
+    :meth:`stage_exit` and retain completed contexts for telemetry when
+    ``keep_contexts`` is set (flipped by ``Telemetry.attach_worker``).
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.hooks = StageHooks()
+        self.keep_contexts = False
+        self.contexts: list[InvocationContext] = []
+
+    def open(
+        self, inv: Invocation, done: Event, tag: Optional[str] = None
+    ) -> InvocationContext:
+        return InvocationContext(inv, done, tag=tag, collect=self.keep_contexts)
+
+    def stage_enter(self, ctx: InvocationContext, stage: str) -> None:
+        ctx.stage = stage
+        hooks = self.hooks
+        if hooks.active or ctx.collect:
+            times = ctx.stage_times
+            if times is None:
+                times = ctx.stage_times = {}
+            times[stage] = [self.env.now, None]
+            if hooks.active:
+                hooks.fire_enter(stage, ctx)
+
+    def stage_exit(self, ctx: InvocationContext, stage: str) -> None:
+        hooks = self.hooks
+        if hooks.active or ctx.collect:
+            times = ctx.stage_times
+            if times is not None:
+                entry = times.get(stage)
+                if entry is not None:
+                    entry[1] = self.env.now
+            if hooks.active:
+                hooks.fire_exit(stage, ctx)
+
+    def close(self, ctx: InvocationContext, outcome: Outcome) -> None:
+        """Record the terminal outcome and retain the context if asked."""
+        ctx.outcome = outcome
+        if ctx.collect:
+            self.contexts.append(ctx)
+
+
+class InvocationLifecycle(StageTracker):
+    """The Ilúvatar worker's invocation path as explicit stages.
+
+    Owns everything between ``async_invoke`` handing over an
+    :class:`~repro.core.function.Invocation` and the completion event
+    succeeding: component latencies (means from paper Table 2 with a
+    batched exponential tail), span emission, metrics/characteristics
+    recording at stage boundaries, memory admission, container creation,
+    and the terminal drop/timeout paths.  The worker keeps only the
+    background processes (dispatcher, evictor, samplers) and the public
+    API.
+    """
+
+    def __init__(self, worker):
+        super().__init__(worker.env)
+        self.worker = worker
+        # Stable aliases for the per-invocation path (all of these live as
+        # long as the worker; telemetry flips switches on the aliased
+        # objects, never replaces them).
+        cfg = worker.config
+        self.config = cfg
+        self.latency = cfg.latency
+        self.spans = worker.spans
+        self.metrics = worker.metrics
+        self.characteristics = worker.characteristics
+        self.pool = worker.pool
+        self.queue = worker.queue
+        self.queue_policy = worker.queue_policy
+        self.bypass = worker.bypass
+        self.load = worker.load
+        self.energy = worker.energy
+        self.http_clients = worker.http_clients
+        self.backend = worker.backend
+        self.name = cfg.name
+        self._histogram_keepalive = isinstance(
+            worker.keepalive_policy, HistogramPolicy
+        )
+        self.dropped = 0
+        self.timeouts = 0
+        # Jitter draws are batched: standard exponentials are drawn 256 at
+        # a time and scaled per use, which is bit-identical to per-call
+        # rng.exponential(scale) (numpy computes standard_exp * scale from
+        # the same stream) at a fraction of the per-draw cost.  Safe only
+        # because the worker's rng has no other consumer.
+        self.rng = worker.rng
+        self._jitter_fraction = cfg.latency.jitter_fraction
+        self._jitter_buf: list[float] = []
+        self._jitter_i = 0
+
+    # ------------------------------------------------------------------ util
+    def _lat(self, base: float) -> float:
+        """One control-plane component latency: base + exponential tail."""
+        if base <= 0:
+            return 0.0
+        frac = self._jitter_fraction
+        if frac <= 0:
+            return base
+        i = self._jitter_i
+        buf = self._jitter_buf
+        if i >= len(buf):
+            buf = self._jitter_buf = self.rng.standard_exponential(256).tolist()
+            i = 0
+        self._jitter_i = i + 1
+        return base + frac * base * buf[i]
+
+    def open(self, inv: Invocation, done: Event) -> InvocationContext:
+        # Tag spans with the invocation id only when spans are retained —
+        # the telemetry decomposition joins on it; the aggregate-only mode
+        # (and the disabled recorder) skips the str() allocation entirely.
+        tag = str(inv.id) if self.spans.keep_spans else None
+        return InvocationContext(inv, done, tag=tag, collect=self.keep_contexts)
+
+    # -------------------------------------------------------------- drivers
+    def ingest(self, inv: Invocation, done: Event) -> Generator:
+        """DES process: admit, then bypass-execute or enqueue."""
+        ctx = self.open(inv, done)
+        if (yield from self.admit(ctx)):
+            ctx.inv.bypassed = True
+            self.metrics.incr("queue.bypassed")
+            yield from self.run(ctx)
+            return
+        yield from self.enqueue(ctx)
+
+    def handle(self, ctx: InvocationContext) -> Generator:
+        """DES process: the dispatched half — dispatch, then run."""
+        yield from self.dispatch(ctx)
+        yield from self.run(ctx)
+
+    def run(self, ctx: InvocationContext) -> Generator:
+        """Acquire a container, run the function, return everything.
+
+        The composite over ``acquire -> (warm | cold_create) -> execute ->
+        complete``; drop and timeout short-circuit out of it.  The
+        ``finally`` block guarantees the regulator token and any claimed
+        container are returned on every path.
+        """
+        w = self.worker
+        self.load.on_start()
+        self.energy.update(self.load.busy_cores)
+        try:
+            ok = yield from self.acquire(ctx)
+            if not ok:
+                return
+            timed_out = yield from self.execute(ctx)
+            if timed_out:
+                return
+            yield from self.complete(ctx)
+        finally:
+            self.load.on_finish()
+            self.energy.update(self.load.busy_cores)
+            if ctx.token is not None:
+                w.regulator.tokens.release(ctx.token)
+            if ctx.entry is not None:
+                # Failure path: never leak a claimed container.
+                self.env.process(self.pool.discard_in_use(ctx.entry))
+
+    # --------------------------------------------------------------- stages
+    def admit(self, ctx: InvocationContext) -> Generator:
+        """API handling and the bypass decision; True to bypass the queue.
+
+        Component latencies are spent inline with paired span begin/end —
+        a contextmanager (or a ``_spend`` sub-generator) here costs an
+        allocation per component per invocation.
+        """
+        env = self.env
+        spans = self.spans
+        lat = self.latency
+        inv = ctx.inv
+        tag = ctx.tag
+        collect = ctx.collect
+        self.stage_enter(ctx, ADMIT)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("invoke", tag)
+        cost = self._lat(lat.invoke)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("invoke", start, env.now))
+
+        if collect:
+            start = env.now
+        handle = spans.begin("sync_invoke", tag)
+        cost = self._lat(lat.sync_invoke)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("sync_invoke", start, env.now))
+
+        fqdn = inv.function.fqdn()
+        self.characteristics.record_arrival(fqdn, env.now)
+        if self._histogram_keepalive:
+            self.worker.keepalive_policy.record_arrival(fqdn, env.now)
+
+        ctx.warm_available = warm_available = self.pool.has_available(fqdn)
+        decision = self.bypass.should_bypass(inv, warm_available)
+        self.stage_exit(ctx, ADMIT)
+        return decision
+
+    def enqueue(self, ctx: InvocationContext) -> Generator:
+        """Queue insertion: priority assignment and the admission check."""
+        env = self.env
+        spans = self.spans
+        lat = self.latency
+        inv = ctx.inv
+        tag = ctx.tag
+        collect = ctx.collect
+        self.stage_enter(ctx, ENQUEUE)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("enqueue_invocation", tag)
+        cost = self._lat(lat.enqueue_invocation)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("enqueue_invocation", start, env.now))
+
+        priority = self.queue_policy.priority(inv, ctx.warm_available)
+        inv.enqueued_at = env.now
+
+        if collect:
+            start = env.now
+        handle = spans.begin("add_item_to_q", tag)
+        cost = self._lat(lat.add_item_to_q)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("add_item_to_q", start, env.now))
+        # Admission check at the moment of insertion, so concurrent
+        # ingests observe the queue they are actually joining.
+        max_len = self.config.queue_max_len
+        if max_len is not None and len(self.queue) >= max_len:
+            self.stage_exit(ctx, ENQUEUE)
+            self.drop(ctx, "queue overflow")
+            return
+        yield self.queue.put(ctx, priority=priority)
+        self.stage_exit(ctx, ENQUEUE)
+
+    def dispatch(self, ctx: InvocationContext) -> Generator:
+        """The dispatched invocation's handoff to a handler process."""
+        env = self.env
+        spans = self.spans
+        lat = self.latency
+        tag = ctx.tag
+        collect = ctx.collect
+        self.stage_enter(ctx, DISPATCH)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("dequeue", tag)
+        cost = self._lat(lat.dequeue)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("dequeue", start, env.now))
+
+        if collect:
+            start = env.now
+        handle = spans.begin("spawn_worker", tag)
+        cost = self._lat(lat.spawn_worker)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("spawn_worker", start, env.now))
+        self.stage_exit(ctx, DISPATCH)
+
+    def acquire(self, ctx: InvocationContext) -> Generator:
+        """Container acquisition; False when the cold path shed the
+        invocation (the only way acquisition fails)."""
+        env = self.env
+        spans = self.spans
+        tag = ctx.tag
+        collect = ctx.collect
+        fqdn = ctx.inv.function.fqdn()
+        self.stage_enter(ctx, ACQUIRE)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("acquire_container", tag)
+        cost = self._lat(self.latency.acquire_container)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("acquire_container", start, env.now))
+
+        ctx.entry = self.pool.try_acquire(fqdn)
+        self.stage_exit(ctx, ACQUIRE)
+        if ctx.entry is not None:
+            yield from self.warm(ctx)
+            return True
+        return (yield from self.cold_create(ctx))
+
+    def warm(self, ctx: InvocationContext) -> Generator:
+        """Warm branch: lock the already-running container."""
+        env = self.env
+        spans = self.spans
+        collect = ctx.collect
+        self.stage_enter(ctx, WARM)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("try_lock_container", ctx.tag)
+        cost = self._lat(self.latency.try_lock_container)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("try_lock_container", start, env.now))
+        ctx.inv.cold = False
+        self.stage_exit(ctx, WARM)
+
+    def cold_create(self, ctx: InvocationContext) -> Generator:
+        """Cold branch: memory admission + sandbox creation — the whole
+        cold-path detour the warm path skips.  False when the invocation
+        was shed waiting for memory."""
+        env = self.env
+        spans = self.spans
+        inv = ctx.inv
+        collect = ctx.collect
+        inv.cold = True
+        self.stage_enter(ctx, COLD_CREATE)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("cold_create", ctx.tag)
+        took = yield from self.take_memory(inv.function.memory_mb)
+        if not took:
+            spans.end(handle)
+            if collect:
+                ctx.intervals.append(("cold_create", start, env.now))
+            self.stage_exit(ctx, COLD_CREATE)
+            self.drop(ctx, "insufficient memory")
+            return False
+        ctx.entry = yield from self.create_container(inv.function)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("cold_create", start, env.now))
+        self.stage_exit(ctx, COLD_CREATE)
+        return True
+
+    def execute(self, ctx: InvocationContext) -> Generator:
+        """Agent communication around the execution window; True when the
+        invocation exceeded its execution limit (timeout stage taken)."""
+        env = self.env
+        spans = self.spans
+        lat = self.latency
+        inv = ctx.inv
+        tag = ctx.tag
+        collect = ctx.collect
+        self.stage_enter(ctx, EXECUTE)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("prepare_invoke", tag)
+        cost = self._lat(lat.prepare_invoke)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("prepare_invoke", start, env.now))
+
+        conn_cost = self.http_clients.connection_cost(ctx.entry.container.id)
+        if conn_cost > 0:
+            yield env.timeout(conn_cost)
+            spans.record("http_client_create", conn_cost, tag)
+            if collect:
+                ctx.intervals.append(
+                    ("http_client_create", env.now - conn_cost, env.now)
+                )
+
+        exec_time = (
+            self.cold_exec_time(inv.function)
+            if inv.cold
+            else inv.function.warm_time
+        )
+        ctx.exec_time = exec_time
+        inv.exec_started_at = env.now
+        call_start = env.now
+        invoke_proc = env.process(
+            self.backend.invoke(ctx.entry.container, exec_time)
+        )
+        limit = inv.function.timeout
+        if limit is not None:
+            timed_out = yield from self._await_with_timeout(invoke_proc, limit)
+            if timed_out:
+                # Kill the over-running invocation: the container is
+                # destroyed (its state is unknown) and the caller gets
+                # a timeout outcome.
+                yield from self.timeout_kill(ctx)
+                return True
+        else:
+            yield invoke_proc
+        inv.exec_finished_at = inv.exec_started_at + exec_time
+        # The execution window itself, retained (not aggregated) so the
+        # telemetry decomposition can subtract function time exactly.
+        spans.record_span("exec", call_start, call_start + exec_time, tag)
+        if collect:
+            ctx.intervals.append(("exec", call_start, call_start + exec_time))
+        # call_container span is the HTTP overhead around execution.
+        comm = max(env.now - call_start - exec_time, 0.0)
+        spans.record("call_container", comm, tag)
+        if collect:
+            ctx.intervals.append(("call_container", env.now - comm, env.now))
+
+        if collect:
+            start = env.now
+        handle = spans.begin("download_result", tag)
+        cost = self._lat(lat.download_result)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("download_result", start, env.now))
+        self.stage_exit(ctx, EXECUTE)
+        return False
+
+    def complete(self, ctx: InvocationContext) -> Generator:
+        """Terminal stage: return the container to the pool and the
+        results to the caller, record the invocation."""
+        env = self.env
+        spans = self.spans
+        lat = self.latency
+        inv = ctx.inv
+        tag = ctx.tag
+        collect = ctx.collect
+        self.stage_enter(ctx, COMPLETE)
+
+        if collect:
+            start = env.now
+        handle = spans.begin("return_container", tag)
+        cost = self._lat(lat.return_container)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("return_container", start, env.now))
+
+        self.pool.return_entry(ctx.entry)
+        ctx.entry = None
+
+        if collect:
+            start = env.now
+        handle = spans.begin("return_results", tag)
+        cost = self._lat(lat.return_results)
+        if cost > 0:
+            yield env.timeout(cost)
+        spans.end(handle)
+        if collect:
+            ctx.intervals.append(("return_results", start, env.now))
+
+        inv.completed_at = env.now
+        fqdn = inv.function.fqdn()
+        self.characteristics.record_execution(fqdn, ctx.exec_time, inv.cold)
+        outcome = Outcome.BYPASSED if inv.bypassed else (
+            Outcome.COLD if inv.cold else Outcome.WARM
+        )
+        self.metrics.record_invocation(
+            InvocationRecord(
+                function=fqdn,
+                arrival=inv.arrival,
+                outcome=outcome,
+                exec_time=inv.exec_time,
+                e2e_time=inv.e2e_time,
+                queue_time=inv.queue_time,
+                overhead=inv.overhead,
+                cold=inv.cold,
+                worker=self.name,
+                invocation_id=inv.id,
+            )
+        )
+        self.stage_exit(ctx, COMPLETE)
+        self.close(ctx, outcome)
+        ctx.done.succeed(inv)
+
+    def timeout_kill(self, ctx: InvocationContext) -> Generator:
+        """Terminal stage: terminate a timed-out invocation and report it."""
+        env = self.env
+        inv = ctx.inv
+        self.stage_enter(ctx, TIMEOUT)
+        inv.timed_out = True
+        inv.exec_finished_at = env.now
+        inv.completed_at = env.now
+        self.timeouts += 1
+        self.http_clients.forget(ctx.entry.container.id)
+        entry, ctx.entry = ctx.entry, None
+        yield env.process(self.pool.discard_in_use(entry))
+        self.metrics.record_invocation(
+            InvocationRecord(
+                function=inv.function.fqdn(),
+                arrival=inv.arrival,
+                outcome=Outcome.TIMEOUT,
+                exec_time=inv.exec_time,
+                e2e_time=inv.e2e_time,
+                queue_time=inv.queue_time,
+                overhead=inv.overhead,
+                cold=inv.cold,
+                worker=self.name,
+                invocation_id=inv.id,
+            )
+        )
+        self.stage_exit(ctx, TIMEOUT)
+        self.close(ctx, Outcome.TIMEOUT)
+        ctx.done.succeed(inv)
+
+    def drop(self, ctx: InvocationContext, reason: str) -> None:
+        """Terminal stage: shed the invocation (admission / overflow)."""
+        inv = ctx.inv
+        self.stage_enter(ctx, DROP)
+        inv.dropped = True
+        inv.drop_reason = reason
+        inv.completed_at = self.env.now
+        self.dropped += 1
+        self.metrics.record_invocation(
+            InvocationRecord(
+                function=inv.function.fqdn(),
+                arrival=inv.arrival,
+                outcome=Outcome.DROPPED,
+                worker=self.name,
+                invocation_id=inv.id,
+            )
+        )
+        self.stage_exit(ctx, DROP)
+        self.close(ctx, Outcome.DROPPED)
+        ctx.done.succeed(inv)
+
+    # --------------------------------------------------- shared sub-steps
+    def _await_with_timeout(self, invoke_proc, limit: float) -> Generator:
+        """Wait for the invocation or its execution limit; True on timeout."""
+        timeout_ev = self.env.timeout(limit)
+        result = yield self.env.any_of([invoke_proc, timeout_ev])
+        if invoke_proc in result or not invoke_proc.is_alive:
+            # Finished (possibly in the same instant the limit expired).
+            return False
+        invoke_proc.interrupt("function timeout")
+        return True
+
+    def take_memory(self, memory_mb: float) -> Generator:
+        """Admission: obtain memory for a cold start, evicting if needed.
+
+        Returns True on success; False when the wait timed out (the
+        invocation is then shed)."""
+        w = self.worker
+        if w.memory.try_take(memory_mb):
+            return True
+        # Ask the pool to synchronously pick victims (destruction is async).
+        self.pool.evict_for(memory_mb - max(w.memory.level, 0.0))
+        take = w.memory.take(memory_mb)
+        timeout = self.env.timeout(self.config.memory_wait_timeout)
+        result = yield self.env.any_of([take, timeout])
+        if take in result:
+            return True
+        # Timed out: the gauge will eventually grant the take; return the
+        # memory as soon as it does so accounting stays balanced.
+        take.callbacks.append(lambda _e: w.memory.give(memory_mb))
+        return False
+
+    def create_container(
+        self, registration: FunctionRegistration, prewarmed: bool = False
+    ) -> Generator:
+        """Create a container through the backend (memory already taken).
+
+        With snapshots enabled and one available, the sandbox is restored
+        instead of built from scratch; the function's initialization work
+        covered by the snapshot is skipped at execution time (the caller
+        consults :meth:`cold_exec_time`).
+        """
+        w = self.worker
+        namespace = w.namespaces.acquire()
+        plan = w.snapshots.restore_plan(registration)
+        if plan is not None:
+            restore_latency, _remaining = plan
+            container = yield self.env.process(
+                self.backend.restore(
+                    registration, restore_latency, namespace=namespace
+                )
+            )
+            self.metrics.incr("containers.restored")
+        else:
+            container = yield self.env.process(
+                self.backend.create(registration, namespace=namespace)
+            )
+            self.metrics.incr("containers.created")
+            if w.snapshots.enabled:
+                self._schedule_capture(registration)
+        return self.pool.add_in_use(
+            container, init_cost=registration.init_time, prewarmed=prewarmed
+        )
+
+    def cold_exec_time(self, registration: FunctionRegistration) -> float:
+        """Function-code time for a cold start, given snapshot coverage."""
+        snapshots = self.worker.snapshots
+        if snapshots.has(registration.fqdn()):
+            remaining_init = registration.init_time * (
+                1.0 - snapshots.policy.init_coverage
+            )
+            return registration.warm_time + remaining_init
+        return registration.cold_time
+
+    def _schedule_capture(self, registration: FunctionRegistration) -> None:
+        """Capture a snapshot in the background, off the critical path."""
+        def capture() -> Generator:
+            snapshots = self.worker.snapshots
+            cost = snapshots.policy.capture_latency(registration.memory_mb)
+            yield self.env.timeout(cost)
+            snapshots.capture(registration, self.env.now)
+
+        self.env.process(capture(), name=f"capture-{registration.fqdn()}")

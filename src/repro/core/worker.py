@@ -7,11 +7,16 @@ HTTP-client caches, and all metrics.  The API mirrors the paper's —
 ``register``, ``invoke``, ``async_invoke``, ``prewarm`` — and is identical
 whether the worker runs under a load balancer or standalone.
 
-Every control-plane component *spends* its latency as a DES timeout (means
-from paper Table 2 with a small exponential tail), so measured spans and
-end-to-end overheads are consistent with the paper's warm-path numbers by
-construction, while queueing and cold-start behaviour emerge from the
-actual control flow.
+The per-invocation control flow lives in
+:class:`repro.core.lifecycle.InvocationLifecycle` as an explicit stage
+pipeline (``admit → enqueue → dispatch → acquire → (warm | cold_create) →
+execute → complete/drop/timeout``); this module keeps the public API, the
+background processes, and the wiring that assembles the subsystems the
+pipeline drives.  Every control-plane component *spends* its latency as a
+DES timeout (means from paper Table 2 with a small exponential tail), so
+measured spans and end-to-end overheads are consistent with the paper's
+warm-path numbers by construction, while queueing and cold-start
+behaviour emerge from the actual control flow.
 """
 
 from __future__ import annotations
@@ -28,9 +33,9 @@ from ..containers.image import ImageRegistry
 from ..containers.namespace_pool import NamespacePool
 from ..containers.snapshots import SnapshotStore
 from ..errors import DuplicateRegistration, FunctionNotRegistered
-from ..keepalive.policies import HistogramPolicy, make_policy
+from ..keepalive.policies import make_policy
 from ..metrics.energy import EnergyMonitor
-from ..metrics.registry import InvocationRecord, MetricsRegistry, Outcome
+from ..metrics.registry import MetricsRegistry
 from ..metrics.spans import SpanRecorder
 from ..queueing.bypass import NoBypass, ShortFunctionBypass
 from ..queueing.policies import make_queue_policy
@@ -41,6 +46,7 @@ from .characteristics import CharacteristicsMap
 from .config import WorkerConfig
 from .container_pool import ContainerPool
 from .function import FunctionRegistration, Invocation
+from .lifecycle import InvocationLifecycle
 from .results import AsyncResult, ResultStore
 
 __all__ = ["Worker"]
@@ -68,7 +74,8 @@ class Worker:
         self.characteristics = CharacteristicsMap()
         # partial(getattr, env, "now") is a C-level clock callable — no
         # Python frame per sample, and these clocks fire many times per
-        # invocation (spans tick twice per component).
+        # invocation (spans tick twice per component).  One callable is
+        # shared by every clocked subsystem.
         clock = partial(getattr, env, "now")
         self.metrics = MetricsRegistry(clock=clock)
         self.spans = SpanRecorder(clock=clock, enabled=cfg.tracing_enabled)
@@ -78,9 +85,6 @@ class Worker:
 
         self.memory = Gauge(env, capacity=cfg.memory_mb)
         self.keepalive_policy = make_policy(cfg.keepalive_policy)
-        self._histogram_keepalive = isinstance(
-            self.keepalive_policy, HistogramPolicy
-        )
         self.pool = ContainerPool(
             env,
             self.backend,
@@ -117,34 +121,11 @@ class Worker:
         self.snapshots = SnapshotStore(enabled=cfg.snapshots_enabled)
 
         self.registrations: dict[str, FunctionRegistration] = {}
-        self.results = ResultStore(clock=partial(getattr, env, "now"))
+        self.results = ResultStore(clock=clock)
         self._started = False
-        self.dropped = 0
-        self.timeouts = 0
-        # Jitter draws are batched: standard exponentials are drawn 256 at
-        # a time and scaled per use, which is bit-identical to per-call
-        # rng.exponential(scale) (numpy computes standard_exp * scale from
-        # the same stream) at a fraction of the per-draw cost.  Safe only
-        # because self.rng has no other consumer.
-        self._jitter_fraction = self.config.latency.jitter_fraction
-        self._jitter_buf: list[float] = []
-        self._jitter_i = 0
-
-    # ------------------------------------------------------------------ util
-    def _lat(self, base: float) -> float:
-        """One control-plane component latency: base + exponential tail."""
-        if base <= 0:
-            return 0.0
-        frac = self._jitter_fraction
-        if frac <= 0:
-            return base
-        i = self._jitter_i
-        buf = self._jitter_buf
-        if i >= len(buf):
-            buf = self._jitter_buf = self.rng.standard_exponential(256).tolist()
-            i = 0
-        self._jitter_i = i + 1
-        return base + frac * base * buf[i]
+        # The invocation path itself: built last, over the assembled
+        # subsystems.
+        self.lifecycle = InvocationLifecycle(self)
 
     # ------------------------------------------------------------------ life
     def start(self) -> None:
@@ -188,10 +169,12 @@ class Worker:
     def prewarm(self, fqdn: str) -> Generator:
         """DES process: start a container + agent and add it to the pool."""
         registration = self._lookup(fqdn)
-        took = yield from self._take_memory(registration.memory_mb)
+        took = yield from self.lifecycle.take_memory(registration.memory_mb)
         if not took:
             return False
-        entry = yield from self._cold_create(registration, prewarmed=True)
+        entry = yield from self.lifecycle.create_container(
+            registration, prewarmed=True
+        )
         self.pool.return_entry(entry)
         return True
 
@@ -208,7 +191,9 @@ class Worker:
         registration = self._lookup(fqdn)
         done = self.env.event()
         inv = Invocation(function=registration, arrival=self.env.now, args=args)
-        self.env.process(self._ingest(inv, done), name=f"ingest-{inv.id}")
+        self.env.process(
+            self.lifecycle.ingest(inv, done), name=f"ingest-{inv.id}"
+        )
         return done
 
     def async_invoke_cookie(self, fqdn: str, args=None) -> str:
@@ -232,353 +217,23 @@ class Worker:
         return registration
 
     # ------------------------------------------------------------- pipeline
-    def _ingest(self, inv: Invocation, done: Event) -> Generator:
-        """Ingestion: API handling, bypass decision, enqueue.
-
-        Component latencies are spent inline with paired span begin/end —
-        a contextmanager (or a ``_spend`` sub-generator) here costs an
-        allocation per component per invocation.
-        """
-        env = self.env
-        spans = self.spans
-        lat = self.config.latency
-        # Tag spans with the invocation id only when spans are retained —
-        # the telemetry decomposition joins on it; the aggregate-only mode
-        # (and the disabled recorder) skips the str() allocation entirely.
-        tag = str(inv.id) if spans.keep_spans else None
-
-        handle = spans.begin("invoke", tag)
-        cost = self._lat(lat.invoke)
-        if cost > 0:
-            yield env.timeout(cost)
-        spans.end(handle)
-
-        handle = spans.begin("sync_invoke", tag)
-        cost = self._lat(lat.sync_invoke)
-        if cost > 0:
-            yield env.timeout(cost)
-        spans.end(handle)
-
-        fqdn = inv.function.fqdn()
-        self.characteristics.record_arrival(fqdn, env.now)
-        if self._histogram_keepalive:
-            self.keepalive_policy.record_arrival(fqdn, env.now)
-
-        warm_available = self.pool.has_available(fqdn)
-        if self.bypass.should_bypass(inv, warm_available):
-            inv.bypassed = True
-            self.metrics.incr("queue.bypassed")
-            yield from self._execute(inv, done, token=None)
-            return
-
-        handle = spans.begin("enqueue_invocation", tag)
-        cost = self._lat(lat.enqueue_invocation)
-        if cost > 0:
-            yield env.timeout(cost)
-        spans.end(handle)
-
-        priority = self.queue_policy.priority(inv, warm_available)
-        inv.enqueued_at = env.now
-
-        handle = spans.begin("add_item_to_q", tag)
-        cost = self._lat(lat.add_item_to_q)
-        if cost > 0:
-            yield env.timeout(cost)
-        spans.end(handle)
-        # Admission check at the moment of insertion, so concurrent
-        # ingests observe the queue they are actually joining.
-        if (
-            self.config.queue_max_len is not None
-            and len(self.queue) >= self.config.queue_max_len
-        ):
-            self._drop(inv, done, "queue overflow")
-            return
-        yield self.queue.put((inv, done), priority=priority)
-
     def _dispatcher(self) -> Generator:
-        """The queue-monitor thread: regulator-gated dispatch loop."""
+        """The queue-monitor thread: regulator-gated dispatch loop.
+
+        Pops the next :class:`~repro.core.lifecycle.InvocationContext`
+        once the regulator grants a token, then hands it to the
+        lifecycle's dispatched half in a fresh handler process.
+        """
         while True:
             token = self.regulator.tokens.request()
             yield token
-            item = yield self.queue.get()
-            inv, done = item
-            inv.dispatched_at = self.env.now
-            self.queue_policy.on_dispatch(inv)
+            ctx = yield self.queue.get()
+            ctx.token = token
+            ctx.inv.dispatched_at = self.env.now
+            self.queue_policy.on_dispatch(ctx.inv)
             self.env.process(
-                self._handle(inv, done, token), name=f"handler-{inv.id}"
+                self.lifecycle.handle(ctx), name=f"handler-{ctx.inv.id}"
             )
-
-    def _handle(self, inv: Invocation, done: Event, token) -> Generator:
-        env = self.env
-        spans = self.spans
-        lat = self.config.latency
-        tag = str(inv.id) if spans.keep_spans else None
-
-        handle = spans.begin("dequeue", tag)
-        cost = self._lat(lat.dequeue)
-        if cost > 0:
-            yield env.timeout(cost)
-        spans.end(handle)
-
-        handle = spans.begin("spawn_worker", tag)
-        cost = self._lat(lat.spawn_worker)
-        if cost > 0:
-            yield env.timeout(cost)
-        spans.end(handle)
-
-        yield from self._execute(inv, done, token)
-
-    def _execute(self, inv: Invocation, done: Event, token) -> Generator:
-        """Acquire a container, run the function, return everything."""
-        cfg = self.config
-        env = self.env
-        spans = self.spans
-        lat = cfg.latency
-        fqdn = inv.function.fqdn()
-        tag = str(inv.id) if spans.keep_spans else None
-        self.load.on_start()
-        self.energy.update(self.load.busy_cores)
-        entry = None
-        try:
-            handle = spans.begin("acquire_container", tag)
-            cost = self._lat(lat.acquire_container)
-            if cost > 0:
-                yield env.timeout(cost)
-            spans.end(handle)
-
-            entry = self.pool.try_acquire(fqdn)
-            if entry is not None:
-                handle = spans.begin("try_lock_container", tag)
-                cost = self._lat(lat.try_lock_container)
-                if cost > 0:
-                    yield env.timeout(cost)
-                spans.end(handle)
-                inv.cold = False
-            else:
-                inv.cold = True
-                # The cold_create span covers memory admission + sandbox
-                # creation: the whole cold-path detour the warm path skips.
-                handle = spans.begin("cold_create", tag)
-                took = yield from self._take_memory(inv.function.memory_mb)
-                if not took:
-                    spans.end(handle)
-                    self._drop(inv, done, "insufficient memory")
-                    return
-                entry = yield from self._cold_create(inv.function)
-                spans.end(handle)
-
-            # Talk to the agent.
-            handle = spans.begin("prepare_invoke", tag)
-            cost = self._lat(lat.prepare_invoke)
-            if cost > 0:
-                yield env.timeout(cost)
-            spans.end(handle)
-
-            conn_cost = self.http_clients.connection_cost(entry.container.id)
-            if conn_cost > 0:
-                yield env.timeout(conn_cost)
-                spans.record("http_client_create", conn_cost, tag)
-
-            exec_time = (
-                self._cold_exec_time(inv.function)
-                if inv.cold
-                else inv.function.warm_time
-            )
-            inv.exec_started_at = self.env.now
-            call_start = self.env.now
-            invoke_proc = self.env.process(
-                self.backend.invoke(entry.container, exec_time)
-            )
-            limit = inv.function.timeout
-            if limit is not None:
-                timed_out = yield from self._await_with_timeout(
-                    invoke_proc, limit
-                )
-                if timed_out:
-                    # Kill the over-running invocation: the container is
-                    # destroyed (its state is unknown) and the caller gets
-                    # a timeout outcome.
-                    yield from self._timeout_kill(inv, entry, done)
-                    entry = None
-                    return
-            else:
-                yield invoke_proc
-            inv.exec_finished_at = inv.exec_started_at + exec_time
-            # The execution window itself, retained (not aggregated) so the
-            # telemetry decomposition can subtract function time exactly.
-            spans.record_span("exec", call_start, call_start + exec_time, tag)
-            # call_container span is the HTTP overhead around execution.
-            spans.record(
-                "call_container", max(env.now - call_start - exec_time, 0.0), tag
-            )
-
-            handle = spans.begin("download_result", tag)
-            cost = self._lat(lat.download_result)
-            if cost > 0:
-                yield env.timeout(cost)
-            spans.end(handle)
-
-            # Return the container to the pool and the results to the caller.
-            handle = spans.begin("return_container", tag)
-            cost = self._lat(lat.return_container)
-            if cost > 0:
-                yield env.timeout(cost)
-            spans.end(handle)
-
-            self.pool.return_entry(entry)
-            entry = None
-
-            handle = spans.begin("return_results", tag)
-            cost = self._lat(lat.return_results)
-            if cost > 0:
-                yield env.timeout(cost)
-            spans.end(handle)
-
-            inv.completed_at = env.now
-            self.characteristics.record_execution(fqdn, exec_time, inv.cold)
-            self.metrics.record_invocation(
-                InvocationRecord(
-                    function=fqdn,
-                    arrival=inv.arrival,
-                    outcome=Outcome.BYPASSED if inv.bypassed else (
-                        Outcome.COLD if inv.cold else Outcome.WARM
-                    ),
-                    exec_time=inv.exec_time,
-                    e2e_time=inv.e2e_time,
-                    queue_time=inv.queue_time,
-                    overhead=inv.overhead,
-                    cold=inv.cold,
-                    worker=self.name,
-                    invocation_id=inv.id,
-                )
-            )
-            done.succeed(inv)
-        finally:
-            self.load.on_finish()
-            self.energy.update(self.load.busy_cores)
-            if token is not None:
-                self.regulator.tokens.release(token)
-            if entry is not None:
-                # Failure path: never leak a claimed container.
-                self.env.process(self.pool.discard_in_use(entry))
-
-    def _await_with_timeout(self, invoke_proc, limit: float) -> Generator:
-        """Wait for the invocation or its execution limit; True on timeout."""
-        timeout_ev = self.env.timeout(limit)
-        result = yield self.env.any_of([invoke_proc, timeout_ev])
-        if invoke_proc in result or not invoke_proc.is_alive:
-            # Finished (possibly in the same instant the limit expired).
-            return False
-        invoke_proc.interrupt("function timeout")
-        return True
-
-    def _timeout_kill(self, inv: Invocation, entry, done: Event) -> Generator:
-        """Terminate a timed-out invocation and report it."""
-        inv.timed_out = True
-        inv.exec_finished_at = self.env.now
-        inv.completed_at = self.env.now
-        self.timeouts += 1
-        self.http_clients.forget(entry.container.id)
-        yield self.env.process(self.pool.discard_in_use(entry))
-        self.metrics.record_invocation(
-            InvocationRecord(
-                function=inv.function.fqdn(),
-                arrival=inv.arrival,
-                outcome=Outcome.TIMEOUT,
-                exec_time=inv.exec_time,
-                e2e_time=inv.e2e_time,
-                queue_time=inv.queue_time,
-                overhead=inv.overhead,
-                cold=inv.cold,
-                worker=self.name,
-                invocation_id=inv.id,
-            )
-        )
-        done.succeed(inv)
-
-    def _take_memory(self, memory_mb: float) -> Generator:
-        """Admission: obtain memory for a cold start, evicting if needed.
-
-        Returns True on success; False when the wait timed out (the
-        invocation is then shed)."""
-        if self.memory.try_take(memory_mb):
-            return True
-        # Ask the pool to synchronously pick victims (destruction is async).
-        self.pool.evict_for(memory_mb - max(self.memory.level, 0.0))
-        take = self.memory.take(memory_mb)
-        timeout = self.env.timeout(self.config.memory_wait_timeout)
-        result = yield self.env.any_of([take, timeout])
-        if take in result:
-            return True
-        # Timed out: the gauge will eventually grant the take; return the
-        # memory as soon as it does so accounting stays balanced.
-        take.callbacks.append(lambda _e: self.memory.give(memory_mb))
-        return False
-
-    def _cold_create(
-        self, registration: FunctionRegistration, prewarmed: bool = False
-    ) -> Generator:
-        """Create a container through the backend (memory already taken).
-
-        With snapshots enabled and one available, the sandbox is restored
-        instead of built from scratch; the function's initialization work
-        covered by the snapshot is skipped at execution time (the caller
-        consults :meth:`_cold_exec_time`).
-        """
-        namespace = self.namespaces.acquire()
-        plan = self.snapshots.restore_plan(registration)
-        if plan is not None:
-            restore_latency, _remaining = plan
-            container = yield self.env.process(
-                self.backend.restore(
-                    registration, restore_latency, namespace=namespace
-                )
-            )
-            self.metrics.incr("containers.restored")
-        else:
-            container = yield self.env.process(
-                self.backend.create(registration, namespace=namespace)
-            )
-            self.metrics.incr("containers.created")
-            if self.snapshots.enabled:
-                self._schedule_capture(registration)
-        return self.pool.add_in_use(
-            container, init_cost=registration.init_time, prewarmed=prewarmed
-        )
-
-    def _cold_exec_time(self, registration: FunctionRegistration) -> float:
-        """Function-code time for a cold start, given snapshot coverage."""
-        if self.snapshots.has(registration.fqdn()):
-            remaining_init = registration.init_time * (
-                1.0 - self.snapshots.policy.init_coverage
-            )
-            return registration.warm_time + remaining_init
-        return registration.cold_time
-
-    def _schedule_capture(self, registration: FunctionRegistration) -> None:
-        """Capture a snapshot in the background, off the critical path."""
-        def capture() -> Generator:
-            cost = self.snapshots.policy.capture_latency(registration.memory_mb)
-            yield self.env.timeout(cost)
-            self.snapshots.capture(registration, self.env.now)
-
-        self.env.process(capture(), name=f"capture-{registration.fqdn()}")
-
-    def _drop(self, inv: Invocation, done: Event, reason: str) -> None:
-        inv.dropped = True
-        inv.drop_reason = reason
-        inv.completed_at = self.env.now
-        self.dropped += 1
-        self.metrics.record_invocation(
-            InvocationRecord(
-                function=inv.function.fqdn(),
-                arrival=inv.arrival,
-                outcome=Outcome.DROPPED,
-                worker=self.name,
-                invocation_id=inv.id,
-            )
-        )
-        done.succeed(inv)
 
     # ---------------------------------------------------------- telemetry
     def attach_telemetry(self, telemetry) -> None:
@@ -588,6 +243,16 @@ class Worker:
         telemetry.attach_worker(self)
 
     # ------------------------------------------------------------- status
+    @property
+    def dropped(self) -> int:
+        """Invocations shed (admission / overflow); counted by the pipeline."""
+        return self.lifecycle.dropped
+
+    @property
+    def timeouts(self) -> int:
+        """Invocations killed at their execution limit."""
+        return self.lifecycle.timeouts
+
     def status(self) -> dict:
         """Load/status snapshot, as served to the load balancer."""
         return {

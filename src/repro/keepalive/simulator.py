@@ -28,7 +28,11 @@ from .policies import HistogramPolicy, KeepAlivePolicy, make_policy
 __all__ = ["KeepAliveResult", "KeepAliveSimulator", "sweep_cache_sizes"]
 
 
-@dataclass(frozen=True)
+# eq=False: the mutable per_function_cold dict makes value equality (and
+# the hash frozen+eq would synthesize from it) unreliable — two results
+# could compare equal and then diverge, or hash inconsistently.  Frozen
+# instances therefore keep identity semantics.
+@dataclass(frozen=True, eq=False)
 class KeepAliveResult:
     """Outcome of one trace replay."""
 
@@ -43,7 +47,7 @@ class KeepAliveResult:
     evictions: int
     expirations: int
     preloads: int
-    per_function_cold: dict = field(default_factory=dict, hash=False, compare=False)
+    per_function_cold: dict = field(default_factory=dict)
 
     @property
     def cold_ratio(self) -> float:

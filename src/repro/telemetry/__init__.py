@@ -28,6 +28,7 @@ from .decomposition import (
     aggregate_phases,
     breakdown_rows,
     decompose,
+    decompose_contexts,
     match_records,
 )
 from .exporters import (
@@ -53,6 +54,7 @@ __all__ = [
     "aggregate_phases",
     "breakdown_rows",
     "decompose",
+    "decompose_contexts",
     "match_records",
     "dump_timeseries_csv",
     "dump_timeseries_jsonl",

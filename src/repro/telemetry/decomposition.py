@@ -1,9 +1,17 @@
-"""Span-derived overhead decomposition (the paper's Table 2, per run).
+"""Overhead decomposition (the paper's Table 2, per run).
 
-The worker's spans carry an invocation-id tag when telemetry retains them;
-this module reconstructs each invocation's critical path from those spans
-and splits the control-plane overhead (everything that is not function
-code) into phases:
+The primary source is the invocation-lifecycle pipeline itself: when
+telemetry is attached, each completed
+:class:`~repro.core.lifecycle.InvocationContext` carries the component
+intervals of its critical path, and :func:`decompose_contexts` reads the
+phase boundaries directly off those contexts.  :func:`decompose` derives
+the same breakdowns by reconstructing invocations from tagged spans — the
+independent cross-check ``repro inspect`` runs against exported span
+streams.  Both paths feed the identical per-invocation arithmetic, so
+their outputs are bit-for-bit interchangeable.
+
+The control-plane overhead (everything that is not function code) splits
+into phases:
 
 * ``queue``       — ingestion components + time waiting in the invocation
                     queue + dispatch components;
@@ -37,6 +45,7 @@ __all__ = [
     "EXEC_SPAN",
     "InvocationBreakdown",
     "decompose",
+    "decompose_contexts",
     "aggregate_phases",
     "breakdown_rows",
     "match_records",
@@ -86,6 +95,53 @@ class InvocationBreakdown:
         return int(self.tag) if self.tag.isdigit() else None
 
 
+def _breakdown(tag: str, intervals: Sequence[tuple]) -> Optional[InvocationBreakdown]:
+    """One invocation's breakdown from ``(name, start, end)`` intervals.
+
+    The single arithmetic both decomposition paths share: intervals must
+    arrive in recording order (they do — the lifecycle appends them as the
+    span recorder retains them), and the queue-wait gap is added after the
+    loop, so span-derived and context-derived sums accumulate in the same
+    float order and agree bit-for-bit.  ``None`` when the invocation has
+    no execution window (dropped / timed out / not an invocation).
+    """
+    if not any(name == EXEC_SPAN for name, _start, _end in intervals):
+        return None
+    phases = dict.fromkeys(PHASES, 0.0)
+    exec_time = 0.0
+    add_item_end: Optional[float] = None
+    dequeue_start: Optional[float] = None
+    first_start = min(start for _name, start, _end in intervals)
+    last_end = max(end for _name, _start, end in intervals)
+    cold = False
+    for name, start, end in intervals:
+        if name == EXEC_SPAN:
+            exec_time += end - start
+            continue
+        if name == "cold_create":
+            cold = True
+        phases[PHASE_OF_SPAN.get(name, "other")] += end - start
+        if name == "add_item_to_q":
+            add_item_end = end
+        elif name == "dequeue":
+            dequeue_start = start
+    if add_item_end is not None and dequeue_start is not None:
+        # The only instrumentation gap on the critical path: waiting in
+        # the invocation queue between insertion and dispatch.
+        phases["queue"] += max(dequeue_start - add_item_end, 0.0)
+    return InvocationBreakdown(
+        tag=tag,
+        phases=phases,
+        exec_time=exec_time,
+        cold=cold,
+        start=first_start,
+        end=last_end,
+    )
+
+
+_SORT_KEY = lambda b: (b.invocation_id is None, b.invocation_id, b.tag)  # noqa: E731
+
+
 def decompose(spans: Iterable[Span]) -> list[InvocationBreakdown]:
     """Reconstruct per-invocation phase breakdowns from tagged spans.
 
@@ -94,48 +150,41 @@ def decompose(spans: Iterable[Span]) -> list[InvocationBreakdown]:
     fqdns), dropped and timed-out invocations are skipped.  Results are
     ordered by invocation id.
     """
-    groups: dict[str, list[Span]] = {}
+    groups: dict[str, list[tuple]] = {}
     for s in spans:
         if s.tag is not None:
-            groups.setdefault(s.tag, []).append(s)
+            groups.setdefault(s.tag, []).append((s.name, s.start, s.end))
 
     out: list[InvocationBreakdown] = []
     for tag, group in groups.items():
-        if not any(s.name == EXEC_SPAN for s in group):
+        b = _breakdown(tag, group)
+        if b is not None:
+            out.append(b)
+    out.sort(key=_SORT_KEY)
+    return out
+
+
+def decompose_contexts(contexts: Iterable) -> list[InvocationBreakdown]:
+    """Phase breakdowns read directly off lifecycle contexts.
+
+    ``contexts`` are completed
+    :class:`~repro.core.lifecycle.InvocationContext` objects whose
+    ``intervals`` were collected (telemetry attached); each context *is*
+    one invocation, so no tag-join is needed.  Contexts without an
+    execution window (dropped / timed out) or without collected intervals
+    are skipped.  Results are ordered by invocation id, and values are
+    bit-identical to :func:`decompose` over the same run's spans.
+    """
+    out: list[InvocationBreakdown] = []
+    for ctx in contexts:
+        intervals = ctx.intervals
+        if not intervals:
             continue
-        phases = dict.fromkeys(PHASES, 0.0)
-        exec_time = 0.0
-        add_item_end: Optional[float] = None
-        dequeue_start: Optional[float] = None
-        first_start = min(s.start for s in group)
-        last_end = max(s.end for s in group)
-        cold = False
-        for s in group:
-            if s.name == EXEC_SPAN:
-                exec_time += s.duration
-                continue
-            if s.name == "cold_create":
-                cold = True
-            phases[PHASE_OF_SPAN.get(s.name, "other")] += s.duration
-            if s.name == "add_item_to_q":
-                add_item_end = s.end
-            elif s.name == "dequeue":
-                dequeue_start = s.start
-        if add_item_end is not None and dequeue_start is not None:
-            # The only instrumentation gap on the critical path: waiting in
-            # the invocation queue between insertion and dispatch.
-            phases["queue"] += max(dequeue_start - add_item_end, 0.0)
-        out.append(
-            InvocationBreakdown(
-                tag=tag,
-                phases=phases,
-                exec_time=exec_time,
-                cold=cold,
-                start=first_start,
-                end=last_end,
-            )
-        )
-    out.sort(key=lambda b: (b.invocation_id is None, b.invocation_id, b.tag))
+        tag = ctx.tag if ctx.tag is not None else str(ctx.inv.id)
+        b = _breakdown(tag, intervals)
+        if b is not None:
+            out.append(b)
+    out.sort(key=_SORT_KEY)
     return out
 
 

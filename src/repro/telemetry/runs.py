@@ -32,7 +32,12 @@ from typing import Optional, Union
 
 from ..metrics.registry import InvocationRecord, MetricsRegistry, Outcome
 from ..metrics.spans import Span, dump_spans_jsonl, load_spans_jsonl
-from .decomposition import breakdown_rows, decompose, match_records
+from .decomposition import (
+    breakdown_rows,
+    decompose,
+    decompose_contexts,
+    match_records,
+)
 from .exporters import dump_timeseries_jsonl, write_prometheus
 from .sampler import TelemetryConfig, TelemetrySampler, Timeseries
 
@@ -78,6 +83,12 @@ class Telemetry:
         self.sampler.attach_worker(worker)
         if self.config.keep_spans:
             worker.spans.keep_spans = True
+            # Retain completed lifecycle contexts: the decomposition reads
+            # phase boundaries directly off them (spans stay the
+            # independent cross-check `repro inspect` recomputes from).
+            lifecycle = getattr(worker, "lifecycle", None)
+            if lifecycle is not None:
+                lifecycle.keep_contexts = True
         if self.config.histograms:
             worker.metrics.enable_latency_histograms()
         self._workers.append(worker)
@@ -120,6 +131,23 @@ class Telemetry:
         return out
 
     def breakdowns(self):
+        """Per-invocation phase breakdowns, read off lifecycle contexts.
+
+        Falls back to span-tag reconstruction when any attached worker has
+        no lifecycle context store (or retention was never enabled), so
+        the result is the same either way — bit-identical, in fact, which
+        :meth:`breakdowns_from_spans` lets callers assert.
+        """
+        contexts: list = []
+        for w in self._workers:
+            lifecycle = getattr(w, "lifecycle", None)
+            if lifecycle is None or not lifecycle.keep_contexts:
+                return self.breakdowns_from_spans()
+            contexts.extend(lifecycle.contexts)
+        return decompose_contexts(contexts)
+
+    def breakdowns_from_spans(self):
+        """The span-tag reconstruction of :meth:`breakdowns` (cross-check)."""
         return decompose(self.spans())
 
     def merged_metrics(self) -> MetricsRegistry:

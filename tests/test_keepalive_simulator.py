@@ -140,3 +140,31 @@ def test_empty_trace():
     r = simulate(trace, "GD", 1024.0)
     assert r.invocations == 0
     assert np.isnan(r.cold_ratio)
+
+
+def test_result_frozen_with_identity_equality():
+    """Regression: KeepAliveResult is frozen but carries a mutable dict.
+
+    With ``eq=True`` the synthesized equality/hash would either choke on
+    the dict or silently exclude it while claiming value semantics; the
+    dataclass therefore opts out (``eq=False``) and keeps identity
+    semantics, which stay consistent even when the dict mutates.
+    """
+    import dataclasses
+
+    trace = make_trace([0.0, 10.0], [0, 0], [F])
+    a = simulate(trace, "LRU", 1024.0)
+    b = simulate(trace, "LRU", 1024.0)
+    # Same replay, bit-identical fields...
+    assert dataclasses.asdict(a) == dataclasses.asdict(b)
+    # ...but equality and hashing are by identity, so the mutable
+    # per_function_cold field can never make them inconsistent.
+    assert a != b
+    assert a == a
+    h = hash(a)
+    a.per_function_cold["mutated"] = 99
+    assert hash(a) == h
+    assert a in {a} and b not in {a}
+    # Still frozen: field assignment is rejected.
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        a.invocations = 0

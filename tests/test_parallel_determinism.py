@@ -5,6 +5,8 @@ identical order.  These tests pin the contract the whole
 ``repro.parallel`` layer is built on.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.experiments.defaults import Scale
@@ -35,9 +37,14 @@ def tiny_traces():
 def test_keepalive_sweep_parallel_bit_identical(tiny_traces):
     serial = run_keepalive_sweep(TINY, traces=tiny_traces, n_jobs=1)
     parallel = run_keepalive_sweep(TINY, traces=tiny_traces, n_jobs=4)
-    # KeepAliveResult is a frozen dataclass: == compares every float
-    # exactly, and the list compare also pins the row order.
-    assert serial == parallel
+    # KeepAliveResult carries a mutable dict and has identity equality
+    # (eq=False), so compare field-by-field: every float exactly, the
+    # per-function cold counts included, and the list compare also pins
+    # the row order.
+    as_rows = lambda results: [
+        (name, dataclasses.asdict(r)) for name, r in results
+    ]
+    assert as_rows(serial) == as_rows(parallel)
     assert [name for name, _ in serial] == [name for name, _ in parallel]
     assert fig4_rows(serial) == fig4_rows(parallel)
 
