@@ -1,0 +1,106 @@
+"""Single-process vs sharded wall clock for the cluster study.
+
+The perf-trajectory benchmark for ``repro.cluster_shard``: the same
+32-worker cluster study runs once on the single-process engine and once
+sharded across ``min(4, cores)`` shard processes, asserts the two
+:class:`ClusterStudyResult` rows are identical, and records both wall
+clocks in ``BENCH_shard.json`` at the repo root.
+
+Sharding buys wall clock only when the shards land on real cores, so the
+>= 1.5x assertion arms exclusively on >= 4-core runners; on smaller
+machines the numbers are still recorded — with a warning written into
+the JSON itself, because a "speedup" measured on one core is IPC
+overhead wearing a speedup label.
+"""
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.cluster_shard import ShardingUnavailable
+from repro.experiments.cluster_study import run_cluster_study
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+MIN_SPEEDUP = 1.5   # acceptance bar on a >=4-core runner
+NUM_WORKERS = 32    # the cluster being sharded
+CORES_PER_WORKER = 2
+DURATION_CAP = 300.0
+
+
+def _time_study(scale, shards):
+    t0 = time.perf_counter()
+    result = run_cluster_study(
+        scale,
+        num_workers=NUM_WORKERS,
+        cores_per_worker=CORES_PER_WORKER,
+        duration_cap=DURATION_CAP,
+        status_interval=2.0,
+        shards=shards,
+    )
+    return time.perf_counter() - t0, result
+
+
+def test_sharded_study_speedup(benchmark, scale, artifact):
+    cores = os.cpu_count() or 1
+    shards = max(2, min(4, cores))
+
+    def measure():
+        serial_s, serial = _time_study(scale, 1)
+        try:
+            sharded_s, sharded = _time_study(scale, shards)
+        except ShardingUnavailable as exc:  # pragma: no cover - sandbox
+            pytest.skip(f"shard processes unavailable here: {exc}")
+        assert sharded.as_dict() == serial.as_dict(), (
+            "sharded study diverged from single-process"
+        )
+        assert sharded.per_worker_invocations == serial.per_worker_invocations
+        return {
+            "benchmark": "cluster study, single-process vs sharded",
+            "cpu_count": cores,
+            "num_workers": NUM_WORKERS,
+            "cores_per_worker": CORES_PER_WORKER,
+            "duration_cap_s": DURATION_CAP,
+            "shards": shards,
+            "invocations": serial.invocations,
+            "serial_s": round(serial_s, 3),
+            "sharded_s": round(sharded_s, 3),
+            "speedup": round(serial_s / sharded_s, 2) if sharded_s > 0 else None,
+        }
+
+    record = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    if cores < 4:
+        record["WARNING"] = (
+            f"MEASURED ON A {cores}-CORE MACHINE: {shards} shard processes "
+            "cannot run concurrently, so the speedup column measures seam "
+            "IPC overhead, NOT parallel scaling. Re-record on a >= 4-core "
+            "runner before comparing."
+        )
+        warnings.warn(record["WARNING"], RuntimeWarning, stacklevel=1)
+        record["speedup_meaningful"] = False
+    else:
+        record["speedup_meaningful"] = True
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        f"Sharded cluster study ({NUM_WORKERS} workers, shards={shards}, "
+        f"cores={cores})",
+        f"  {record['invocations']} invocations: "
+        f"serial {record['serial_s']}s, sharded {record['sharded_s']}s, "
+        f"speedup {record['speedup']}x",
+    ]
+    if "WARNING" in record:
+        lines.append(f"  WARNING: {record['WARNING']}")
+    artifact("shard_speedup", "\n".join(lines))
+    print(f"[written to {BENCH_PATH}]")
+
+    if record["speedup_meaningful"]:
+        assert record["speedup"] >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x from {shards} shards on "
+            f"{cores} cores, got {record['speedup']}x"
+        )

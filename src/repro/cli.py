@@ -124,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="sweep the study across LB policies (one process per policy)",
     )
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the cluster's workers across N processes with a "
+             "time-synchronized LB seam (default: $REPRO_SHARDS or 1 = "
+             "single process; 0 = all cores); results are bit-identical "
+             "at any shard count",
+    )
     inspect = sub.add_parser(
         "inspect", help="summarize a telemetry run directory"
     )
@@ -218,12 +228,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.compare_lb:
             from .experiments import run_cluster_lb_sweep
 
-            rows = run_cluster_lb_sweep(scale, n_jobs=args.jobs)
+            rows = run_cluster_lb_sweep(scale, n_jobs=args.jobs,
+                                        shards=args.shards)
             out.append(format_table(rows, title="Cluster study (LB sweep)"))
         else:
             from .experiments import run_cluster_study
 
-            result = run_cluster_study(scale, telemetry_dir=telemetry_dir)
+            result = run_cluster_study(scale, telemetry_dir=telemetry_dir,
+                                       shards=args.shards)
             out.append(format_table([result.as_dict()], title="Cluster study"))
             if telemetry_dir is not None:
                 out.append(f"telemetry run exported to {telemetry_dir}")

@@ -1,0 +1,286 @@
+"""The shard coordinator: the load balancer, run against remote loads.
+
+The coordinator owns everything a single-process :class:`Cluster` keeps
+at the LB layer — the status board, the balancer, the pick/RPC spans, the
+placement counters — but its workers live in shard processes.  It walks
+the invocation plan arrival by arrival, advancing a virtual clock to each
+arrival's timestamp, asking shards for their worker loads only at the
+arrivals where a single-process balancer would have read them (the
+precomputed :func:`~.protocol.sync_indices`), and streaming placement
+decisions to the owning shards in batches.
+
+Conservative-epoch synchronization: between two sync arrivals no load is
+read, so every shard holds all the information it needs to simulate up to
+the next sync point; the dispatch/forward latency at the seam is the
+lookahead that makes the pick→delivery ordering safe (delivery at
+``t + rpc_latency`` is strictly after every state the pick depended on).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from functools import partial
+from typing import Optional, Sequence
+
+from ..core.config import WorkerConfig
+from ..loadbalancer.cluster import Cluster
+from ..loadbalancer.policies import StatusBoard, make_balancer
+from ..metrics.spans import SpanRecorder
+from .protocol import ShardSpec, ShardingUnavailable, partition_workers, sync_indices
+
+__all__ = ["ShardedOutcome", "run_sharded_replay"]
+
+# Dispatch entries buffered per shard before an eager flush; keeps shards
+# simulating while the coordinator is still walking the plan.
+BATCH_ENTRIES = 512
+
+
+class _Clock:
+    """Mutable virtual clock the coordinator advances arrival by arrival."""
+
+    __slots__ = ("now",)
+
+    def __init__(self):
+        self.now = 0.0
+
+
+@dataclass(frozen=True)
+class ShardedOutcome:
+    """Merged result of a sharded replay (single-process-equivalent)."""
+
+    summaries: list        # (k, dropped, completed, cold, e2e, overhead), by k
+    forwards: int
+    placements: int
+    per_worker_records: dict
+    telemetry: Optional[object] = None   # MergedTelemetry when opted in
+    seam_log: Optional[list] = None      # (k, pick_t, deliver_t) when collected
+
+
+def _spawn_shards(ctx, specs):
+    """Start one process per spec; on any failure, clean up and signal
+    :class:`ShardingUnavailable` so callers can fall back to serial."""
+    from .shard import shard_main
+
+    conns, procs = [], []
+    try:
+        for spec in specs:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=shard_main,
+                args=(child_conn, spec),
+                daemon=True,
+                name=f"repro-shard-{spec.index}",
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+    except (OSError, ValueError, ImportError, AttributeError,
+            pickle.PicklingError) as exc:
+        for p in procs:
+            p.terminate()
+        for p in procs:
+            p.join()
+        raise ShardingUnavailable(str(exc)) from exc
+    return conns, procs
+
+
+def _recv(conn, shard_index):
+    try:
+        msg = conn.recv()
+    except (EOFError, OSError) as exc:
+        raise RuntimeError(f"shard {shard_index} died mid-run: {exc}") from exc
+    if msg[0] == "error":
+        raise RuntimeError(f"shard {shard_index} failed:\n{msg[1]}")
+    return msg
+
+
+def run_sharded_replay(
+    plan,
+    *,
+    num_workers: int,
+    shards: int,
+    registrations: Sequence,
+    config: Optional[WorkerConfig] = None,
+    bound_factor: float = 1.2,
+    rpc_latency: float = 0.0005,
+    lb_policy: str = "ch_bl",
+    status_interval: Optional[float] = None,
+    grace: float = 120.0,
+    horizon: Optional[float] = None,
+    telemetry_config=None,
+    collect_seam: bool = False,
+    start_method: Optional[str] = None,
+) -> ShardedOutcome:
+    """Replay an :class:`~repro.loadgen.openloop.InvocationPlan` on a
+    sharded cluster; parameters mirror :class:`Cluster` + ``replay_plan``.
+
+    Raises :class:`ShardingUnavailable` when shard processes cannot start
+    (callers fall back to the single-process path), and ``ValueError``
+    when ``rpc_latency`` is not positive — the seam latency is the
+    conservative lookahead, so sharding without it is unsound.
+    """
+    if rpc_latency <= 0:
+        raise ValueError(
+            "sharded runs need rpc_latency > 0: the LB->worker dispatch "
+            "latency is the lookahead that makes the epoch barrier safe"
+        )
+    import multiprocessing as mp
+
+    if mp.current_process().daemon:
+        raise ShardingUnavailable(
+            "daemonic parent (e.g. a run_parallel pool worker) cannot "
+            "spawn shard processes"
+        )
+
+    base = config or WorkerConfig()
+    cfgs = Cluster.worker_configs(base, num_workers)
+    parts = partition_workers(num_workers, shards)
+    shard_of = {}
+    for s, rng in enumerate(parts):
+        for i in rng:
+            shard_of[cfgs[i].name] = s
+    if horizon is None:
+        horizon = plan.duration + grace
+    sync_set = sync_indices(plan.timestamps, lb_policy, status_interval)
+
+    specs = [
+        ShardSpec(
+            index=s,
+            worker_configs=tuple(cfgs[i] for i in rng),
+            registrations=tuple(registrations),
+            rpc_latency=float(rpc_latency),
+            horizon=float(horizon),
+            telemetry=telemetry_config,
+            collect_seam=collect_seam,
+        )
+        for s, rng in enumerate(parts)
+    ]
+
+    # -- LB state, exactly as Cluster wires it (loads come from shards) --
+    clk = _Clock()
+    loads: dict[str, float] = {}
+    status_board = StatusBoard(
+        clock=partial(getattr, clk, "now"),
+        live_load_fn=loads.__getitem__,
+        interval=status_interval,
+    )
+    balancer = make_balancer(lb_policy, status_board.load, bound_factor=bound_factor)
+    for cfg in cfgs:
+        balancer.add_worker(cfg.name)
+    spans = SpanRecorder(
+        clock=partial(getattr, clk, "now"), enabled=base.tracing_enabled
+    )
+    lb_loads = None
+    if telemetry_config is not None:
+        from ..telemetry.sampler import Timeseries
+
+        if telemetry_config.keep_spans:
+            spans.keep_spans = True
+        lb_loads = Timeseries(("t", "worker", "load"))
+        # publish(worker, t, value) -> row (t, worker, value), matching
+        # TelemetrySampler.record_lb_load on the single-process path.
+        status_board.publish = (
+            lambda worker, t, value: lb_loads.append(t, worker, value)
+        )
+
+    method = start_method or os.environ.get("REPRO_MP_START") or None
+    try:
+        ctx = mp.get_context(method)
+    except ValueError as exc:
+        raise ShardingUnavailable(str(exc)) from exc
+    conns, procs = _spawn_shards(ctx, specs)
+
+    placements = 0
+    try:
+        batches: list[list] = [[] for _ in specs]
+
+        def flush(s: int) -> None:
+            if batches[s]:
+                conns[s].send(batches[s])
+                batches[s] = []
+
+        for k in range(len(plan)):
+            t = float(plan.timestamps[k])
+            clk.now = t
+            if k in sync_set:
+                for s in range(len(specs)):
+                    batches[s].append(("sync", k, t))
+                    flush(s)
+                for s, conn in enumerate(conns):
+                    msg = _recv(conn, s)
+                    assert msg[0] == "loads" and msg[1] == k
+                    loads.update(msg[2])
+            fqdn = plan.fqdns[k]
+            handle = spans.begin("lb_pick", tag=fqdn)
+            target = balancer.pick(fqdn)
+            spans.end(handle)
+            placements += 1
+            # The RPC-hop span the single-process forward process records:
+            # begin at the pick, end at delivery (pick time + seam latency).
+            rpc = spans.begin("lb_rpc", tag=target)
+            clk.now = t + rpc_latency
+            spans.end(rpc)
+            clk.now = t
+            s = shard_of[target]
+            batches[s].append(("dispatch", k, t, fqdn, target, k + 1))
+            if len(batches[s]) >= BATCH_ENTRIES:
+                flush(s)
+
+        payloads = []
+        for s in range(len(specs)):
+            batches[s].append(("finish",))
+            flush(s)
+        for s, conn in enumerate(conns):
+            msg = _recv(conn, s)
+            assert msg[0] == "result"
+            payloads.append(msg[1])
+        for p in procs:
+            p.join()
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join()
+        for conn in conns:
+            conn.close()
+
+    summaries = sorted(
+        (row for payload in payloads for row in payload["summaries"]),
+        key=lambda row: row[0],
+    )
+    per_worker: dict[str, int] = {}
+    for payload in payloads:
+        per_worker.update(payload["per_worker_records"])
+
+    seam_log = None
+    if collect_seam:
+        by_k = {k: deliver for payload in payloads
+                for k, deliver in payload["seam"]}
+        seam_log = [
+            (k, float(plan.timestamps[k]), deliver)
+            for k, deliver in sorted(by_k.items())
+        ]
+
+    telemetry = None
+    if telemetry_config is not None:
+        from .merge import MergedTelemetry
+
+        telemetry = MergedTelemetry(
+            config=telemetry_config,
+            worker_names=[cfg.name for cfg in cfgs],
+            shard_payloads=[payload["telemetry"] for payload in payloads],
+            lb_spans=spans.spans(),
+            lb_loads=lb_loads,
+        )
+
+    return ShardedOutcome(
+        summaries=summaries,
+        forwards=getattr(balancer, "forwards", 0),
+        placements=placements,
+        per_worker_records=per_worker,
+        telemetry=telemetry,
+        seam_log=seam_log,
+    )

@@ -1,0 +1,112 @@
+"""Merging per-shard telemetry into one ``repro inspect``-readable run.
+
+Each shard ships picklable telemetry parts (records, retained spans,
+phase breakdowns, registry pieces, gauge timeseries); the coordinator
+adds its own LB spans and the balancer-visible load signal.  The merge
+reassembles exactly what a single-process :class:`~repro.telemetry.runs.
+Telemetry` would hold — same sort orders, same worker-order float
+accumulation — so the exported run directory is interchangeable with a
+serial run's (invocation ids aside: sharded runs number arrivals 0..N-1
+plus one, serial runs continue the process-global counter; all *relative*
+ids match).
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+from typing import Optional, Union
+
+from ..metrics.registry import MetricsRegistry
+
+__all__ = ["MergedTelemetry"]
+
+# Matches telemetry.decomposition's canonical breakdown ordering.
+_BREAKDOWN_KEY = lambda b: (b.invocation_id is None, b.invocation_id, b.tag)  # noqa: E731
+
+
+class MergedTelemetry:
+    """Telemetry views over merged shard payloads.
+
+    Mirrors the :class:`~repro.telemetry.runs.Telemetry` surface the
+    experiments and tests consume — ``records()``, ``spans()``,
+    ``breakdowns()``, ``merged_metrics()``, ``summary()``, ``export()`` —
+    without an environment or live workers behind it.
+    """
+
+    def __init__(self, config, worker_names, shard_payloads, lb_spans, lb_loads):
+        self.config = config
+        self.worker_names = list(worker_names)
+        self._records = [r for p in shard_payloads for r in p["records"]]
+        self._records.sort(key=lambda r: (r.arrival, r.invocation_id))
+        self._spans = [s for p in shard_payloads for s in p["spans"]]
+        self._spans.extend(lb_spans)
+        self._spans.sort(key=lambda s: (s.start, s.end, s.name))
+        self._breakdowns = [b for p in shard_payloads for b in p["breakdowns"]]
+        self._breakdowns.sort(key=_BREAKDOWN_KEY)
+        # (name, counters, gauges, histograms) per worker, cluster order —
+        # shards hold contiguous worker ranges, so shard order is worker
+        # order and counter/histogram accumulation order matches serial.
+        self._metric_parts = [part for p in shard_payloads for part in p["metrics"]]
+        self.series = {}
+        for p in shard_payloads:
+            self.series.update(p["series"])
+        self.lb_loads = lb_loads
+        # Shards tick the same simulated grid over the same horizon, so
+        # every shard saw the same number of sampler rounds.
+        self.samples = max((p["samples"] for p in shard_payloads), default=0)
+
+    # -- views (same shapes as Telemetry's) --------------------------------
+    def records(self) -> list:
+        return list(self._records)
+
+    def spans(self) -> list:
+        return list(self._spans)
+
+    def breakdowns(self) -> list:
+        return list(self._breakdowns)
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Counters summed, histograms merged, gauges worker-prefixed —
+        the same worker-order accumulation as Telemetry.merged_metrics."""
+        merged = MetricsRegistry()
+        for name, counters, gauges, histograms in self._metric_parts:
+            for key, v in counters.items():
+                merged.incr(key, v)
+            for key, v in gauges.items():
+                merged.set_gauge(f"{name}.{key}", v)
+            for key, hist in histograms.items():
+                target = merged.histograms.get(key)
+                if target is None:
+                    merged.histograms[key] = copy.deepcopy(hist)
+                else:
+                    target.merge(hist)
+        return merged
+
+    # -- export ------------------------------------------------------------
+    def summary(self) -> dict:
+        from ..telemetry.runs import build_summary
+
+        return build_summary(
+            self.config,
+            self.worker_names,
+            self.samples,
+            self._records,
+            self.merged_metrics(),
+            self._breakdowns,
+        )
+
+    def export(self, run_dir: Union[str, Path]) -> dict[str, Path]:
+        from ..telemetry.runs import write_run_dir
+
+        series = dict(self.series)
+        if self.lb_loads is not None and len(self.lb_loads):
+            series["lb"] = self.lb_loads
+        return write_run_dir(
+            run_dir,
+            series=series,
+            spans=self._spans,
+            records=self._records,
+            registry=self.merged_metrics(),
+            summary=self.summary(),
+        )

@@ -1,0 +1,146 @@
+"""The LB-seam protocol between the shard coordinator and shard processes.
+
+A sharded cluster run partitions the workers into N shard processes, each
+simulating its own :class:`~repro.sim.core.Environment`.  Workers never
+interact directly — every cross-worker effect crosses the load-balancer
+seam, and the LB→worker dispatch RPC has latency ``rpc_latency`` — so the
+seam latency is the conservative **lookahead**: a placement decided at
+simulated time ``t`` cannot affect any worker before ``t + rpc_latency``,
+and a shard may simulate up to the next seam event before hearing from
+the coordinator again.
+
+Seam message schema (plain tuples, picklable; full walkthrough in
+``docs/SHARDING.md``):
+
+coordinator → shard, sent as batches (lists of entries, one ``recv`` per
+batch, times non-decreasing within and across batches):
+
+``("dispatch", k, t, fqdn, worker, invocation_id)``
+    Arrival ``k`` of the plan, at time ``t``, was placed on ``worker``
+    (one of this shard's).  The shard advances to ``t`` and starts the
+    forward process that delivers to the worker at ``t + rpc_latency``.
+``("sync", k, t)``
+    Arrival ``k`` is one where the balancer reads worker loads (see
+    :func:`sync_indices`).  The shard advances to ``t``, reports its
+    workers' loads, and blocks until the next batch.
+``("finish",)``
+    No more arrivals; the shard runs out its horizon and reports results.
+
+shard → coordinator:
+
+``("loads", k, {worker: load})``
+    Queue-plus-running load of every worker in this shard, observed at
+    the sync arrival's timestamp — the exact value a single-process
+    balancer would read live.
+``("result", payload)``
+    Terminal message: invocation summaries, per-worker record counts,
+    the optional telemetry payload, and the optional seam log.
+``("error", traceback_text)``
+    The shard died; the coordinator re-raises.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = [
+    "SHARDS_ENV_VAR",
+    "LOAD_POLICIES",
+    "ShardingUnavailable",
+    "ShardSpec",
+    "resolve_shards",
+    "partition_workers",
+    "sync_indices",
+]
+
+# Environment-variable fallback for the --shards CLI flag.
+SHARDS_ENV_VAR = "REPRO_SHARDS"
+
+# Balancer policies whose pick() reads worker loads (everything except
+# round robin); only these ever need load synchronization at the seam.
+LOAD_POLICIES = frozenset({"ch_bl", "chbl", "least_loaded"})
+
+
+class ShardingUnavailable(RuntimeError):
+    """Raised when shard processes cannot be started (sandboxed fork,
+    daemonic parent, ...); callers fall back to the single-process path."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one shard process needs, shipped once at spawn."""
+
+    index: int
+    worker_configs: tuple          # WorkerConfig per worker, cluster order
+    registrations: tuple           # FunctionRegistration, broadcast order
+    rpc_latency: float
+    horizon: float                 # absolute sim time to run until
+    telemetry: Optional[object] = None   # TelemetryConfig or None
+    collect_seam: bool = False     # record (k, delivery time) per dispatch
+
+
+def resolve_shards(shards: Optional[int] = None) -> int:
+    """Resolve the shard count: explicit arg > ``REPRO_SHARDS`` env > 1.
+
+    ``0`` or a negative value (either source) means "all cores".
+    """
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SHARDS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    shards = int(shards)
+    if shards <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return shards
+
+
+def partition_workers(num_workers: int, shards: int) -> list[range]:
+    """Contiguous worker-index ranges, one per shard, sizes within one.
+
+    Never more shards than workers; a worker's shard assignment is a pure
+    function of ``(num_workers, shards)``, identical in the coordinator
+    and in every equivalence test.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    shards = max(1, min(int(shards), num_workers))
+    bounds = [(s * num_workers) // shards for s in range(shards + 1)]
+    return [range(bounds[s], bounds[s + 1]) for s in range(shards)]
+
+
+def sync_indices(
+    timestamps: Sequence[float],
+    lb_policy: str,
+    status_interval: Optional[float],
+) -> frozenset:
+    """Arrival indices at which the balancer reads worker loads.
+
+    Precomputable from the plan alone, so the coordinator and every shard
+    agree without negotiation: a live status board (``interval=None``)
+    reads loads at every pick; a snapshot board only when the arrival
+    rolls the board into a new interval epoch (mirroring
+    :meth:`repro.loadbalancer.policies.StatusBoard.load`); round robin
+    never reads loads, so those runs stream dispatches with no
+    synchronization at all.
+    """
+    if lb_policy.lower() not in LOAD_POLICIES:
+        return frozenset()
+    if status_interval is None:
+        return frozenset(range(len(timestamps)))
+    out = []
+    snapped: Optional[float] = None
+    for i, t in enumerate(timestamps):
+        t = float(t)
+        if snapped is None or t - snapped >= status_interval:
+            out.append(i)
+            snapped = math.floor(t / status_interval) * status_interval
+    return frozenset(out)

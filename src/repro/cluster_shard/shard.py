@@ -1,0 +1,153 @@
+"""One shard process: a private DES environment running a worker subset.
+
+The shard's event pattern is a *mirror* of the single-process replay
+restricted to its workers: one injector process walks the seam entries in
+time order, yielding exactly the timeouts the single-process open-loop
+injector would have yielded at this shard's relevant arrivals, and
+starting the same ``lb-forward`` processes in the same event-processing
+slots.  Because workers share nothing and the DES kernel breaks ties by
+``(time, priority, seq)``, preserving the *relative* scheduling order of
+the shard's own events is sufficient for bit-identical records — the
+determinism argument is spelled out in ``docs/SHARDING.md``.
+
+Blocking ``conn.recv()`` happens *inside* the injector generator, so the
+environment freezes at the current simulated time whenever the shard
+waits on the coordinator — no wall-clock/sim-time interleaving hazards.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Generator
+
+from ..core.worker import Worker
+from ..sim.core import Environment
+from .protocol import ShardSpec
+
+__all__ = ["shard_main"]
+
+
+def _forward(env, latency, worker, fqdn, invocation_id, done, seam, k):
+    """The LB→worker RPC hop, mirroring ``Cluster.async_invoke``'s
+    forward process (the pick-side spans live in the coordinator)."""
+    yield env.timeout(latency)
+    if seam is not None:
+        seam.append((k, env.now))
+    inner = worker.async_invoke(fqdn, invocation_id=invocation_id)
+    inv = yield inner
+    done.succeed(inv)
+
+
+def _run_shard(conn, spec: ShardSpec) -> dict:
+    env = Environment()
+    workers = {}
+    for cfg in spec.worker_configs:
+        workers[cfg.name] = Worker(env, cfg)
+
+    telemetry = None
+    if spec.telemetry is not None:
+        # Deferred: the pipeline only loads when the run opted in.
+        from ..telemetry import Telemetry
+
+        telemetry = Telemetry(env, spec.telemetry)
+        for w in workers.values():
+            telemetry.attach_worker(w)
+        telemetry.start()
+    for w in workers.values():
+        w.start()
+    for reg in spec.registrations:
+        for w in workers.values():
+            w.register_sync(reg)
+
+    pending: list = []                       # (k, done event)
+    seam: list = [] if spec.collect_seam else None
+
+    def loads() -> dict:
+        # The balancer's load signal: queue length + running (chbl.py).
+        return {name: len(w.queue) + w.load.running for name, w in workers.items()}
+
+    def injector() -> Generator:
+        batch: list = []
+        while True:
+            if not batch:
+                batch = list(conn.recv())    # env frozen while we wait
+            entry = batch.pop(0)
+            kind = entry[0]
+            if kind == "finish":
+                return
+            k, t = entry[1], entry[2]
+            delay = t - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            if kind == "sync":
+                conn.send(("loads", k, loads()))
+            elif kind == "dispatch":
+                fqdn, target, invocation_id = entry[3], entry[4], entry[5]
+                done = env.event()
+                env.process(
+                    _forward(env, spec.rpc_latency, workers[target], fqdn,
+                             invocation_id, done, seam, k),
+                    name=f"lb-forward-{fqdn}",
+                )
+                pending.append((k, done))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown seam entry {entry!r}")
+
+    env.process(injector(), name="open-loop-injector")
+    env.run(until=spec.horizon)
+    for w in workers.values():
+        w.stop()
+    if telemetry is not None:
+        telemetry.stop()
+
+    summaries = []
+    for k, done in pending:
+        if done.triggered:
+            inv = done.value
+            summaries.append((
+                k,
+                bool(inv.dropped),
+                inv.completed_at is not None,
+                bool(inv.cold),
+                inv.e2e_time,
+                inv.overhead,
+            ))
+    payload: dict = {
+        "summaries": summaries,
+        "per_worker_records": {
+            name: len(w.metrics.records) for name, w in workers.items()
+        },
+        "seam": seam,
+    }
+    if telemetry is not None:
+        payload["telemetry"] = {
+            "records": telemetry.records(),
+            "spans": telemetry.spans(),
+            "breakdowns": telemetry.breakdowns(),
+            # Per-worker registry parts, in cluster worker order (the
+            # merged registry sums counters in this order, matching
+            # Telemetry.merged_metrics on a single-process run).
+            "metrics": [
+                (w.name, dict(w.metrics.counters), dict(w.metrics.gauges),
+                 dict(w.metrics.histograms))
+                for w in workers.values()
+            ],
+            "series": dict(telemetry.series),
+            "samples": telemetry.sampler.samples,
+        }
+    return payload
+
+
+def shard_main(conn, spec: ShardSpec) -> None:
+    """Process entry point: run the shard, ship the result (or the
+    traceback — the coordinator re-raises it)."""
+    try:
+        payload = _run_shard(conn, spec)
+        conn.send(("result", payload))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            pass
+    finally:
+        conn.close()

@@ -184,13 +184,29 @@ class Worker:
         inv = yield done
         return inv
 
-    def async_invoke(self, fqdn: str, args=None) -> Event:
+    def async_invoke(
+        self, fqdn: str, args=None, *, invocation_id: Optional[int] = None
+    ) -> Event:
         """Fire an invocation; returns an event that succeeds with the
         completed :class:`Invocation` (dropped invocations also complete,
-        with ``dropped=True``)."""
+        with ``dropped=True``).
+
+        ``invocation_id`` presets the id instead of drawing from the
+        process-global counter — the cluster-shard coordinator assigns
+        arrival-ordered ids so sharded runs reproduce single-process
+        records; normal callers leave it unset.
+        """
         registration = self._lookup(fqdn)
         done = self.env.event()
-        inv = Invocation(function=registration, arrival=self.env.now, args=args)
+        if invocation_id is None:
+            inv = Invocation(function=registration, arrival=self.env.now, args=args)
+        else:
+            inv = Invocation(
+                function=registration,
+                arrival=self.env.now,
+                args=args,
+                id=invocation_id,
+            )
         self.env.process(
             self.lifecycle.ingest(inv, done), name=f"ingest-{inv.id}"
         )

@@ -10,12 +10,14 @@ latency percentiles, locality, per-worker balance).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..cache import CacheLike
+from ..cluster_shard import ShardingUnavailable, resolve_shards, run_sharded_replay
 from ..core.config import WorkerConfig
 from ..core.function import FunctionRegistration
 from ..loadbalancer.cluster import Cluster
@@ -72,6 +74,63 @@ class ClusterStudyResult:
         }
 
 
+def _run_study_sharded(
+    trace: Trace,
+    plan,
+    num_workers: int,
+    config: WorkerConfig,
+    lb_policy: str,
+    status_interval: Optional[float],
+    shards: int,
+    telemetry_dir: Optional[str],
+) -> ClusterStudyResult:
+    """The sharded engine's outcome, adapted to :class:`ClusterStudyResult`."""
+    telemetry_config = None
+    if telemetry_dir is not None:
+        from ..telemetry import TelemetryConfig
+
+        telemetry_config = TelemetryConfig()
+    registrations = [
+        FunctionRegistration(
+            name=f.name,
+            memory_mb=f.memory_mb,
+            warm_time=f.warm_time,
+            cold_time=f.cold_time,
+        )
+        for f in trace.functions
+    ]
+    outcome = run_sharded_replay(
+        plan,
+        num_workers=num_workers,
+        shards=shards,
+        registrations=registrations,
+        config=config,
+        lb_policy=lb_policy,
+        status_interval=status_interval,
+        grace=300.0,
+        telemetry_config=telemetry_config,
+    )
+    if outcome.telemetry is not None:
+        outcome.telemetry.export(telemetry_dir)
+    # Summaries arrive in arrival order, mirroring replay_plan's return.
+    done = [s for s in outcome.summaries if not s[1] and s[2]]
+    e2e = [s[4] for s in done]
+    overheads = [s[5] for s in done]
+    return ClusterStudyResult(
+        invocations=len(outcome.summaries),
+        completed=len(done),
+        dropped=sum(1 for s in outcome.summaries if s[1]),
+        cold=sum(1 for s in done if s[3]),
+        e2e_p50_ms=percentile(e2e, 50) * 1000.0,
+        e2e_p99_ms=percentile(e2e, 99) * 1000.0,
+        overhead_p50_ms=percentile(overheads, 50) * 1000.0,
+        forwards=outcome.forwards,
+        placements=outcome.placements,
+        per_worker_invocations=dict(outcome.per_worker_records),
+        total_load=little_load(trace),
+    )
+
+
 def run_cluster_study(
     scale: Scale = MEDIUM,
     trace: Optional[Trace] = None,
@@ -81,16 +140,24 @@ def run_cluster_study(
     target_load_fraction: float = 0.6,
     duration_cap: float = 1800.0,
     lb_policy: str = "ch_bl",
+    status_interval: Optional[float] = None,
     cache: CacheLike = None,
     telemetry_dir: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> ClusterStudyResult:
     """Replay (a clip of) the representative trace on a cluster.
 
     ``target_load_fraction`` positions the Little's-law load relative to
     total cluster cores (0.6 = comfortably loaded, not saturated).
+    ``status_interval`` makes balancer decisions act on periodic status
+    snapshots instead of live state (None = live, the idealized default).
     ``telemetry_dir``, when set, attaches the opt-in telemetry pipeline
     and exports the run directory (timeseries, spans, records, metrics,
     summary) there after the replay.
+    ``shards`` > 1 (default ``$REPRO_SHARDS``, else 1) runs the same
+    replay across that many shard processes via ``repro.cluster_shard``;
+    the records are bit-identical, only the wall clock changes.  Falls
+    back to the single-process path when shard processes cannot start.
     """
     if not 0 < target_load_fraction:
         raise ValueError("target_load_fraction must be positive")
@@ -102,18 +169,36 @@ def run_cluster_study(
     target = target_load_fraction * num_workers * cores_per_worker
     trace = scale_to_load(trace, target_load=target)
 
+    config = WorkerConfig(
+        cores=cores_per_worker,
+        memory_mb=memory_per_worker_mb,
+        backend="null",
+        keepalive_policy="GD",
+        seed=scale.seed,
+    )
+    plan = plan_from_trace(trace)
+    shards = min(resolve_shards(shards), num_workers)
+    if shards > 1:
+        try:
+            return _run_study_sharded(
+                trace, plan, num_workers, config, lb_policy,
+                status_interval, shards, telemetry_dir,
+            )
+        except ShardingUnavailable as exc:
+            warnings.warn(
+                f"cluster sharding unavailable ({exc}); running "
+                "single-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
     env = Environment()
     cluster = Cluster(
         env,
         num_workers=num_workers,
-        config=WorkerConfig(
-            cores=cores_per_worker,
-            memory_mb=memory_per_worker_mb,
-            backend="null",
-            keepalive_policy="GD",
-            seed=scale.seed,
-        ),
+        config=config,
         lb_policy=lb_policy,
+        status_interval=status_interval,
     )
     telemetry = None
     if telemetry_dir is not None:
@@ -133,7 +218,6 @@ def run_cluster_study(
                 cold_time=f.cold_time,
             )
         )
-    plan = plan_from_trace(trace)
     invocations = replay_plan(env, cluster, plan, grace=300.0)
     cluster.stop()
     if telemetry is not None:
@@ -172,6 +256,7 @@ def run_cluster_lb_sweep(
     duration_cap: float = 1800.0,
     n_jobs: Optional[int] = None,
     cache: CacheLike = None,
+    shards: Optional[int] = None,
 ) -> list[dict]:
     """The full-stack study repeated per LB policy, one process per run.
 
@@ -179,9 +264,31 @@ def run_cluster_lb_sweep(
     worker via the pool initializer; every policy then replays the same
     invocation sequence.  Returns one row per policy in ``lb_policies``
     order.
+
+    With ``shards`` > 1, parallelism moves *inside* each run: policies
+    execute one after another, each sharded across that many worker
+    processes (pool workers are daemonic and cannot host shard children,
+    so per-policy pooling and intra-run sharding are mutually exclusive).
     """
     if trace is None:
         trace = make_traces(scale, cache=cache)["representative"]
+    shards = resolve_shards(shards)
+    if shards > 1:
+        rows = []
+        for policy in lb_policies:
+            result = run_cluster_study(
+                scale,
+                trace=trace,
+                num_workers=num_workers,
+                cores_per_worker=cores_per_worker,
+                memory_per_worker_mb=memory_per_worker_mb,
+                target_load_fraction=target_load_fraction,
+                duration_cap=duration_cap,
+                lb_policy=policy,
+                shards=shards,
+            )
+            rows.append({"lb_policy": policy, **result.as_dict()})
+        return rows
     cells = [
         (policy, num_workers, cores_per_worker, memory_per_worker_mb,
          target_load_fraction, duration_cap)

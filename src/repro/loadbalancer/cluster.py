@@ -48,8 +48,7 @@ class Cluster:
         self.env = env
         base = config or WorkerConfig()
         self.workers: dict[str, Worker] = {}
-        for i in range(num_workers):
-            cfg = base.with_overrides(name=f"{base.name}-{i}", seed=base.seed + i)
+        for cfg in self.worker_configs(base, num_workers):
             self.workers[cfg.name] = Worker(env, cfg)
         self.status_board = StatusBoard(
             clock=lambda: env.now,
@@ -69,6 +68,17 @@ class Cluster:
         self.spans = SpanRecorder(
             clock=partial(getattr, env, "now"), enabled=base.tracing_enabled
         )
+
+    @staticmethod
+    def worker_configs(base: WorkerConfig, num_workers: int) -> list[WorkerConfig]:
+        """The per-worker configs a cluster of ``num_workers`` derives from
+        ``base``: index-suffixed names and consecutive seeds.  The cluster
+        -shard engine builds each shard's workers from the same list, so a
+        sharded cluster is worker-for-worker identical to this one."""
+        return [
+            base.with_overrides(name=f"{base.name}-{i}", seed=base.seed + i)
+            for i in range(num_workers)
+        ]
 
     def _worker_load(self, name: str) -> float:
         w = self.workers[name]

@@ -17,7 +17,13 @@ The ``n_jobs`` knob threads through every experiment runner, the
 ``--jobs`` CLI flag, and the ``REPRO_JOBS`` environment variable.
 """
 
-from .pool import ParallelUnavailable, effective_jobs, resolve_jobs, run_parallel
+from .pool import (
+    ParallelUnavailable,
+    effective_jobs,
+    last_run_info,
+    resolve_jobs,
+    run_parallel,
+)
 from .tasks import (
     cache_size_cell,
     cluster_study_cell,
@@ -31,6 +37,7 @@ from .tasks import (
 __all__ = [
     "ParallelUnavailable",
     "effective_jobs",
+    "last_run_info",
     "resolve_jobs",
     "run_parallel",
     "keepalive_cell",

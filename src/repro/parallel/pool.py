@@ -27,7 +27,13 @@ import pickle
 import warnings
 from typing import Any, Callable, Optional, Sequence
 
-__all__ = ["ParallelUnavailable", "resolve_jobs", "effective_jobs", "run_parallel"]
+__all__ = [
+    "ParallelUnavailable",
+    "resolve_jobs",
+    "effective_jobs",
+    "run_parallel",
+    "last_run_info",
+]
 
 
 class ParallelUnavailable(RuntimeError):
@@ -38,6 +44,41 @@ class ParallelUnavailable(RuntimeError):
 # serial path so task functions see one environment everywhere).
 _WORKER_FUNC: Optional[Callable] = None
 _WORKER_SHARED: Any = None
+
+# How the most recent run_parallel call actually executed.  Benchmarks
+# record this next to their timings: a "parallel" number measured on the
+# serial fallback path (sandboxed /dev/shm, missing semaphores) is
+# indistinguishable from a real pool run by wall clock alone.
+_LAST_RUN: dict = {
+    "pool_used": False,
+    "jobs": 0,
+    "tasks": 0,
+    "cpu_count": os.cpu_count() or 1,
+    "fallback_reason": None,
+}
+
+
+def last_run_info() -> dict:
+    """How the most recent :func:`run_parallel` call executed.
+
+    ``pool_used`` is True only when a process pool genuinely ran the
+    tasks; otherwise ``fallback_reason`` says why execution was serial
+    (single worker requested, no tasks, or the ``ParallelUnavailable``
+    message).  ``cpu_count`` rides along so recorded speedups can be
+    judged against the machine they were measured on.
+    """
+    return dict(_LAST_RUN)
+
+
+def _note_run(jobs: int, tasks: int, pool_used: bool,
+              fallback_reason: Optional[str]) -> None:
+    _LAST_RUN.update(
+        jobs=jobs,
+        tasks=tasks,
+        pool_used=pool_used,
+        cpu_count=os.cpu_count() or 1,
+        fallback_reason=fallback_reason,
+    )
 
 
 def resolve_jobs(n_jobs: Optional[int] = None) -> int:
@@ -112,17 +153,23 @@ def run_parallel(
     tasks = [tuple(args) for args in tasks]
     jobs = effective_jobs(n_jobs, len(tasks))
     if jobs <= 1 or not tasks:
+        _note_run(jobs, len(tasks), pool_used=False,
+                  fallback_reason="no tasks" if not tasks
+                  else "single worker requested")
         return _run_serial(func, tasks, shared)
 
     try:
-        return _run_pool(func, tasks, jobs, shared, chunksize, start_method)
+        result = _run_pool(func, tasks, jobs, shared, chunksize, start_method)
     except ParallelUnavailable as exc:
         warnings.warn(
             f"process pool unavailable ({exc}); running serially",
             RuntimeWarning,
             stacklevel=2,
         )
+        _note_run(jobs, len(tasks), pool_used=False, fallback_reason=str(exc))
         return _run_serial(func, tasks, shared)
+    _note_run(jobs, len(tasks), pool_used=True, fallback_reason=None)
+    return result
 
 
 def _run_pool(

@@ -37,7 +37,14 @@ from .exporters import (
     render_prometheus,
     write_prometheus,
 )
-from .runs import RUN_FILES, Telemetry, inspect_report, load_run
+from .runs import (
+    RUN_FILES,
+    Telemetry,
+    build_summary,
+    inspect_report,
+    load_run,
+    write_run_dir,
+)
 from .sampler import (
     ENERGY_COLUMNS,
     WORKER_COLUMNS,
@@ -62,8 +69,10 @@ __all__ = [
     "write_prometheus",
     "RUN_FILES",
     "Telemetry",
+    "build_summary",
     "inspect_report",
     "load_run",
+    "write_run_dir",
     "ENERGY_COLUMNS",
     "WORKER_COLUMNS",
     "TelemetryConfig",

@@ -44,6 +44,8 @@ from .sampler import TelemetryConfig, TelemetrySampler, Timeseries
 __all__ = [
     "Telemetry",
     "RUN_FILES",
+    "write_run_dir",
+    "build_summary",
     "load_run",
     "inspect_report",
 ]
@@ -56,6 +58,89 @@ RUN_FILES = {
     "metrics": "metrics.prom",
     "summary": "summary.json",
 }
+
+
+def write_run_dir(
+    run_dir: Union[str, Path],
+    *,
+    series: dict,
+    spans: list,
+    records: list,
+    registry: MetricsRegistry,
+    summary: dict,
+) -> dict[str, Path]:
+    """Write the canonical run-directory layout from already-merged parts.
+
+    :class:`Telemetry` feeds this from one live pipeline; the cluster-shard
+    merge feeds it from per-shard payloads.  Either way the directory is
+    identical and ``repro inspect`` reads it back the same.
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    paths = {k: run_dir / v for k, v in RUN_FILES.items()}
+
+    dump_timeseries_jsonl(series, paths["timeseries"])
+    dump_spans_jsonl(spans, paths["spans"])
+
+    with open(paths["records"], "w") as fh:
+        for r in records:
+            fh.write(json.dumps({
+                "function": r.function,
+                "arrival": r.arrival,
+                "outcome": r.outcome.value,
+                "exec_time": r.exec_time,
+                "e2e_time": r.e2e_time,
+                "queue_time": r.queue_time,
+                "overhead": r.overhead,
+                "cold": r.cold,
+                "worker": r.worker,
+                "invocation_id": r.invocation_id,
+            }))
+            fh.write("\n")
+
+    write_prometheus(registry, paths["metrics"])
+
+    with open(paths["summary"], "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    return paths
+
+
+def build_summary(
+    config: TelemetryConfig,
+    worker_names: list,
+    samples: int,
+    records: list,
+    merged: MetricsRegistry,
+    breakdowns: list,
+) -> dict:
+    """The ``summary.json`` structure from already-merged run parts."""
+    outcomes: dict[str, int] = {}
+    for r in records:
+        outcomes[r.outcome.value] = outcomes.get(r.outcome.value, 0) + 1
+    matched, compared = match_records(breakdowns, records)
+    return {
+        "config": {
+            "interval": config.interval,
+            "sample_energy": config.sample_energy,
+            "keep_spans": config.keep_spans,
+            "histograms": config.histograms,
+        },
+        "workers": list(worker_names),
+        "samples": samples,
+        "invocations": len(records),
+        "outcomes": outcomes,
+        "histograms": {
+            name: merged.histograms[name].summary()
+            for name in sorted(merged.histograms)
+        },
+        "decomposition": {
+            "invocations": len(breakdowns),
+            "matched_records": matched,
+            "compared_records": compared,
+            "rows": breakdown_rows(breakdowns),
+        },
+    }
 
 
 class Telemetry:
@@ -172,70 +257,27 @@ class Telemetry:
     # -- export ------------------------------------------------------------
     def export(self, run_dir: Union[str, Path]) -> dict[str, Path]:
         """Write the run directory; returns {kind: path}."""
-        run_dir = Path(run_dir)
-        run_dir.mkdir(parents=True, exist_ok=True)
-        paths = {k: run_dir / v for k, v in RUN_FILES.items()}
-
         series = dict(self.sampler.series)
         if len(self.sampler.lb_loads):
             series["lb"] = self.sampler.lb_loads
-        dump_timeseries_jsonl(series, paths["timeseries"])
-
-        dump_spans_jsonl(self.spans(), paths["spans"])
-
-        with open(paths["records"], "w") as fh:
-            for r in self.records():
-                fh.write(json.dumps({
-                    "function": r.function,
-                    "arrival": r.arrival,
-                    "outcome": r.outcome.value,
-                    "exec_time": r.exec_time,
-                    "e2e_time": r.e2e_time,
-                    "queue_time": r.queue_time,
-                    "overhead": r.overhead,
-                    "cold": r.cold,
-                    "worker": r.worker,
-                    "invocation_id": r.invocation_id,
-                }))
-                fh.write("\n")
-
-        write_prometheus(self.merged_metrics(), paths["metrics"])
-
-        with open(paths["summary"], "w") as fh:
-            json.dump(self.summary(), fh, indent=2)
-            fh.write("\n")
-        return paths
+        return write_run_dir(
+            run_dir,
+            series=series,
+            spans=self.spans(),
+            records=self.records(),
+            registry=self.merged_metrics(),
+            summary=self.summary(),
+        )
 
     def summary(self) -> dict:
-        records = self.records()
-        outcomes: dict[str, int] = {}
-        for r in records:
-            outcomes[r.outcome.value] = outcomes.get(r.outcome.value, 0) + 1
-        merged = self.merged_metrics()
-        breakdowns = self.breakdowns()
-        matched, compared = match_records(breakdowns, records)
-        return {
-            "config": {
-                "interval": self.config.interval,
-                "sample_energy": self.config.sample_energy,
-                "keep_spans": self.config.keep_spans,
-                "histograms": self.config.histograms,
-            },
-            "workers": [w.name for w in self._workers],
-            "samples": self.sampler.samples,
-            "invocations": len(records),
-            "outcomes": outcomes,
-            "histograms": {
-                name: merged.histograms[name].summary()
-                for name in sorted(merged.histograms)
-            },
-            "decomposition": {
-                "invocations": len(breakdowns),
-                "matched_records": matched,
-                "compared_records": compared,
-                "rows": breakdown_rows(breakdowns),
-            },
-        }
+        return build_summary(
+            self.config,
+            [w.name for w in self._workers],
+            self.sampler.samples,
+            self.records(),
+            self.merged_metrics(),
+            self.breakdowns(),
+        )
 
 
 # ---------------------------------------------------------------- inspect

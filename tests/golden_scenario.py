@@ -56,6 +56,47 @@ ARRIVALS = [
 ]
 
 
+def reduce_run(records, spans, breakdowns) -> dict:
+    """Reduce one run's telemetry views to the JSON-stable structure.
+
+    Invocation ids are normalized relative to the smallest id observed in
+    the records, so runs that number invocations from a process-global
+    counter (single-process) and runs that number them by arrival ordinal
+    (the cluster-shard engine) reduce identically.
+    """
+    base_id = min(r.invocation_id for r in records if r.invocation_id)
+
+    def rel(invocation_id):
+        return invocation_id - base_id if invocation_id else invocation_id
+
+    def rel_tag(tag):
+        return str(int(tag) - base_id) if tag is not None and tag.isdigit() else tag
+
+    record_rows = sorted(
+        [r.function, r.arrival, r.outcome.value, r.exec_time, r.e2e_time,
+         r.queue_time, r.overhead, r.cold, r.worker, rel(r.invocation_id)]
+        for r in records
+    )
+    span_rows = sorted(
+        [s.name, s.start, s.end, rel_tag(s.tag)] for s in spans
+    )
+    breakdown_rows = sorted(
+        [rel_tag(b.tag), b.exec_time, b.cold, b.start, b.end,
+         [b.phases[p] for p in PHASES]]
+        for b in breakdowns
+    )
+    phase_totals = {
+        p: sum(b.phases[p] for b in breakdowns) for p in PHASES
+    }
+    return {
+        "invocations": len(records),
+        "records": record_rows,
+        "spans": span_rows,
+        "breakdowns": breakdown_rows,
+        "phase_totals": phase_totals,
+    }
+
+
 def run_scenario() -> dict:
     """Replay the fixed workload; return the JSON-stable reduction."""
     env = Environment()
@@ -82,39 +123,9 @@ def run_scenario() -> dict:
     cluster.stop()
     telemetry.stop()
 
-    records = telemetry.records()
-    base_id = min(r.invocation_id for r in records if r.invocation_id)
-
-    def rel(invocation_id):
-        return invocation_id - base_id if invocation_id else invocation_id
-
-    def rel_tag(tag):
-        return str(int(tag) - base_id) if tag is not None and tag.isdigit() else tag
-
-    record_rows = sorted(
-        [r.function, r.arrival, r.outcome.value, r.exec_time, r.e2e_time,
-         r.queue_time, r.overhead, r.cold, r.worker, rel(r.invocation_id)]
-        for r in records
+    return reduce_run(
+        telemetry.records(), telemetry.spans(), telemetry.breakdowns()
     )
-    span_rows = sorted(
-        [s.name, s.start, s.end, rel_tag(s.tag)] for s in telemetry.spans()
-    )
-    breakdowns = telemetry.breakdowns()
-    breakdown_rows = sorted(
-        [rel_tag(b.tag), b.exec_time, b.cold, b.start, b.end,
-         [b.phases[p] for p in PHASES]]
-        for b in breakdowns
-    )
-    phase_totals = {
-        p: sum(b.phases[p] for b in breakdowns) for p in PHASES
-    }
-    return {
-        "invocations": len(records),
-        "records": record_rows,
-        "spans": span_rows,
-        "breakdowns": breakdown_rows,
-        "phase_totals": phase_totals,
-    }
 
 
 def normalized(data: dict) -> dict:

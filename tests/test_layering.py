@@ -7,7 +7,8 @@ The repo's architecture is a strict layering (ROADMAP / DESIGN):
         containers, queueing, keepalive           (1: mechanisms)
       ← core, workloads, loadgen                  (2: control plane)
       ← loadbalancer, baselines, provisioning     (3: cluster layer)
-      ← experiments, telemetry, cli, profile      (4: harness)
+      ← experiments, telemetry, cluster_shard,
+        cli, profile                              (4: harness)
 
 A module may import (at module level) only from its own layer or below.
 This guard walks every source file's AST and fails on upward imports, so
@@ -54,6 +55,7 @@ LAYERS = {
     # 4: harness / observability / entry points
     "experiments": 4,
     "telemetry": 4,
+    "cluster_shard": 4,
     "cli": 4,
     "profile": 4,
     "__init__": 4,

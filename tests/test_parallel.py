@@ -5,7 +5,12 @@ import time
 
 import pytest
 
-from repro.parallel import effective_jobs, resolve_jobs, run_parallel
+from repro.parallel import (
+    effective_jobs,
+    last_run_info,
+    resolve_jobs,
+    run_parallel,
+)
 
 # Task functions must be top-level so pool workers can import them.
 
@@ -121,3 +126,37 @@ def test_repro_jobs_env_drives_pool(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "2")
     out = run_parallel(_with_shared, [("k",)] * 4, shared={"k": 7})
     assert [v for v, _ in out] == [7, 7, 7, 7]
+
+
+def test_last_run_info_records_serial_path():
+    run_parallel(_identity, [(1,), (2,)], n_jobs=1)
+    info = last_run_info()
+    assert info["pool_used"] is False
+    assert info["fallback_reason"] == "single worker requested"
+    assert info["jobs"] == 1 and info["tasks"] == 2
+    assert info["cpu_count"] == (os.cpu_count() or 1)
+
+
+def test_last_run_info_records_fallback_reason():
+    with pytest.warns(RuntimeWarning):
+        run_parallel(_identity, [(i,) for i in range(4)], n_jobs=2,
+                     start_method="no-such-start-method")
+    info = last_run_info()
+    assert info["pool_used"] is False
+    assert "no-such-start-method" in info["fallback_reason"]
+
+
+def test_last_run_info_reflects_pool_runs():
+    # A real pool run (pool_used=True, no reason) when this machine can
+    # start one; an honest fallback record when it cannot.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        run_parallel(_identity, [(i,) for i in range(4)], n_jobs=2)
+    info = last_run_info()
+    if info["pool_used"]:
+        assert info["fallback_reason"] is None
+    else:
+        assert info["fallback_reason"]
+    assert info["jobs"] == 2 and info["tasks"] == 4
