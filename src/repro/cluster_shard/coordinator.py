@@ -3,11 +3,22 @@
 The coordinator owns everything a single-process :class:`Cluster` keeps
 at the LB layer — the status board, the balancer, the pick/RPC spans, the
 placement counters — but its workers live in shard processes.  It walks
-the invocation plan arrival by arrival, advancing a virtual clock to each
-arrival's timestamp, asking shards for their worker loads only at the
-arrivals where a single-process balancer would have read them (the
-precomputed :func:`~.protocol.sync_indices`), and streaming placement
-decisions to the owning shards in batches.
+the invocation plan **epoch by epoch**: sync points (the arrivals where a
+single-process balancer would have read worker loads, precomputed by
+:func:`~.protocol.sync_indices`) bound each epoch, every arrival inside
+an epoch is picked against the loads read at its start, and each shard
+receives at most one compact columnar message per epoch — parallel numpy
+arrays of arrival indices, timestamps, fqdn codes, and local worker
+indices — instead of one tuple per invocation.
+
+The sync request for the next epoch's boundary rides inside the current
+epoch's message, so shards simulate (and compute the next loads) while
+the coordinator is still slicing the following epoch and accounting this
+one's spans.  Span accounting itself is batched: ``lb_pick``/``lb_rpc``
+spans are emitted with explicit times after the epoch is sent, replacing
+the per-arrival virtual-clock toggle; the clock is written once per epoch
+(per arrival only when a snapshot status board must publish exact
+per-arrival load-read times into the telemetry stream).
 
 Conservative-epoch synchronization: between two sync arrivals no load is
 read, so every shard holds all the information it needs to simulate up to
@@ -22,23 +33,28 @@ import os
 import pickle
 from dataclasses import dataclass
 from functools import partial
-from typing import Optional, Sequence
+from typing import Generator, Optional, Sequence
+
+import numpy as np
 
 from ..core.config import WorkerConfig
 from ..loadbalancer.cluster import Cluster
 from ..loadbalancer.policies import StatusBoard, make_balancer
 from ..metrics.spans import SpanRecorder
-from .protocol import ShardSpec, ShardingUnavailable, partition_workers, sync_indices
+from .protocol import (
+    EPOCH_CHUNK,
+    ShardSpec,
+    ShardingUnavailable,
+    partition_workers,
+    plan_epochs,
+    sync_indices,
+)
 
 __all__ = ["ShardedOutcome", "run_sharded_replay"]
 
-# Dispatch entries buffered per shard before an eager flush; keeps shards
-# simulating while the coordinator is still walking the plan.
-BATCH_ENTRIES = 512
-
 
 class _Clock:
-    """Mutable virtual clock the coordinator advances arrival by arrival."""
+    """Mutable virtual clock the coordinator advances epoch by epoch."""
 
     __slots__ = ("now",)
 
@@ -56,6 +72,7 @@ class ShardedOutcome:
     per_worker_records: dict
     telemetry: Optional[object] = None   # MergedTelemetry when opted in
     seam_log: Optional[list] = None      # (k, pick_t, deliver_t) when collected
+    seam_stats: Optional[dict] = None    # epoch/message accounting of the run
 
 
 def _spawn_shards(ctx, specs):
@@ -88,6 +105,7 @@ def _spawn_shards(ctx, specs):
 
 
 def _recv(conn, shard_index):
+    """One message off a shard pipe; every failure names the shard."""
     try:
         msg = conn.recv()
     except (EOFError, OSError) as exc:
@@ -95,6 +113,85 @@ def _recv(conn, shard_index):
     if msg[0] == "error":
         raise RuntimeError(f"shard {shard_index} failed:\n{msg[1]}")
     return msg
+
+
+def _send(conn, shard_index, msg):
+    """Send to a shard pipe; a broken pipe means the shard died mid-epoch,
+    so drain its final message (usually the traceback, re-raised with the
+    shard index by :func:`_recv`) instead of surfacing a bare OSError."""
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError) as exc:
+        _recv(conn, shard_index)   # raises with the shard's own traceback
+        raise RuntimeError(
+            f"shard {shard_index} died mid-run: {exc}"
+        ) from exc
+
+
+def _plan_codes(fqdns: Sequence[str]) -> tuple[np.ndarray, tuple]:
+    """Factor the plan's fqdn column into ``(codes, vocabulary)``.
+
+    The vocabulary ships to every shard once (in its spec); dispatch
+    messages then carry ``int32`` codes instead of repeated strings.
+    """
+    if not len(fqdns):
+        return np.empty(0, dtype=np.int32), ()
+    vocab, inverse = np.unique(np.asarray(fqdns, dtype=object),
+                               return_inverse=True)
+    return inverse.astype(np.int32), tuple(str(f) for f in vocab)
+
+
+def _chunk_descs(
+    segments, timestamps: np.ndarray, chunk: int
+) -> Generator[tuple[int, int, Optional[int], Optional[tuple]], None, None]:
+    """Lazily yield the seam walk's chunk descriptors.
+
+    Each descriptor is ``(a, b, recv_k, sync_req)``: pick arrivals
+    ``[a, b)``, after first receiving the loads answering sync arrival
+    ``recv_k`` (``None`` when the picks need no fresh loads), and attach
+    ``sync_req = (k, t)`` — the *next* epoch's load request — to the
+    outgoing message (``None`` mid-epoch and at the end of the plan).
+    Descriptors are generated lazily so a live-load plan (one epoch per
+    arrival) never materializes a per-arrival descriptor list.
+    """
+    if segments and segments[0][0] is not None:
+        # The first epoch starts at a sync arrival: prime the pipeline
+        # with an empty message carrying only its load request.
+        k0 = segments[0][0]
+        yield (0, 0, None, (k0, float(timestamps[k0])))
+    for idx, (sync_k, a, b) in enumerate(segments):
+        next_req = None
+        if idx + 1 < len(segments):
+            nk = segments[idx + 1][0]
+            if nk is not None:
+                next_req = (nk, float(timestamps[nk]))
+        ca = a
+        while ca < b:
+            cb = min(ca + chunk, b)
+            yield (ca, cb, sync_k if ca == a else None,
+                   next_req if cb == b else None)
+            ca = cb
+
+
+def _assemble_seam_log(timestamps, seam_parts) -> list:
+    """Merge per-shard seam entries into ``(k, pick_t, deliver_t)`` rows.
+
+    ``seam_parts`` is one iterable of ``(arrival_index, delivery_time)``
+    entries per shard; empty shards (no deliveries before the horizon)
+    and an empty plan both reduce to an empty log.  A standalone helper
+    with its own locals — the arrival index here must never alias the
+    dispatch loop's variables (the PR-6 inline version shadowed them).
+    """
+    deliveries: dict[int, float] = {}
+    for part in seam_parts:
+        if not part:
+            continue
+        for arrival, delivered_at in part:
+            deliveries[arrival] = delivered_at
+    return [
+        (arrival, float(timestamps[arrival]), deliveries[arrival])
+        for arrival in sorted(deliveries)
+    ]
 
 
 def run_sharded_replay(
@@ -113,9 +210,18 @@ def run_sharded_replay(
     telemetry_config=None,
     collect_seam: bool = False,
     start_method: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    spool_dir=None,
 ) -> ShardedOutcome:
     """Replay an :class:`~repro.loadgen.openloop.InvocationPlan` on a
     sharded cluster; parameters mirror :class:`Cluster` + ``replay_plan``.
+
+    ``chunk_size`` caps the arrivals per seam message (default
+    :data:`~.protocol.EPOCH_CHUNK`); epochs that fit send exactly one
+    message per shard.  ``spool_dir``, when set with telemetry enabled,
+    spools the shards' record/span/breakdown streams to disk as they
+    arrive instead of holding them in RAM (the streaming-export path for
+    full-trace replays).
 
     Raises :class:`ShardingUnavailable` when shard processes cannot start
     (callers fall back to the single-process path), and ``ValueError``
@@ -138,13 +244,27 @@ def run_sharded_replay(
     base = config or WorkerConfig()
     cfgs = Cluster.worker_configs(base, num_workers)
     parts = partition_workers(num_workers, shards)
-    shard_of = {}
+    num_shards = len(parts)
+    # Coordinator fast path: worker-id-indexed arrays replace the
+    # name-keyed dict walk — one name->id lookup per pick, then pure
+    # array indexing for shard ownership and shard-local position.
+    worker_names = [cfg.name for cfg in cfgs]
+    worker_ids = {name: i for i, name in enumerate(worker_names)}
+    shard_of = np.empty(num_workers, dtype=np.int32)
+    local_of = np.empty(num_workers, dtype=np.int32)
     for s, rng in enumerate(parts):
         for i in rng:
-            shard_of[cfgs[i].name] = s
+            shard_of[i] = s
+            local_of[i] = i - rng.start
+
+    n = len(plan)
+    ts_arr = np.asarray(plan.timestamps, dtype=np.float64)
     if horizon is None:
         horizon = plan.duration + grace
-    sync_set = sync_indices(plan.timestamps, lb_policy, status_interval)
+    sync_set = sync_indices(ts_arr, lb_policy, status_interval)
+    segments = plan_epochs(n, sync_set)
+    chunk = int(chunk_size or EPOCH_CHUNK)
+    fqdn_codes, fqdn_vocab = _plan_codes(plan.fqdns)
 
     specs = [
         ShardSpec(
@@ -153,6 +273,7 @@ def run_sharded_replay(
             registrations=tuple(registrations),
             rpc_latency=float(rpc_latency),
             horizon=float(horizon),
+            fqdn_vocab=fqdn_vocab,
             telemetry=telemetry_config,
             collect_seam=collect_seam,
         )
@@ -168,8 +289,8 @@ def run_sharded_replay(
         interval=status_interval,
     )
     balancer = make_balancer(lb_policy, status_board.load, bound_factor=bound_factor)
-    for cfg in cfgs:
-        balancer.add_worker(cfg.name)
+    for name in worker_names:
+        balancer.add_worker(name)
     spans = SpanRecorder(
         clock=partial(getattr, clk, "now"), enabled=base.tracing_enabled
     )
@@ -185,6 +306,14 @@ def run_sharded_replay(
         status_board.publish = (
             lambda worker, t, value: lb_loads.append(t, worker, value)
         )
+    # A snapshot board publishes the first read of each worker at the
+    # *reading* arrival's time, which can fall mid-epoch — only then does
+    # the clock need per-arrival writes.  Otherwise one write per epoch
+    # suffices: the refresh predicate cannot fire mid-epoch (that is what
+    # makes it an epoch), and live boards never read the clock at all.
+    arrival_clock = (
+        status_interval is not None and lb_loads is not None and bool(sync_set)
+    )
 
     method = start_method or os.environ.get("REPRO_MP_START") or None
     try:
@@ -194,49 +323,113 @@ def run_sharded_replay(
     conns, procs = _spawn_shards(ctx, specs)
 
     placements = 0
+    sent = [0] * num_shards
+    pick = balancer.pick
+    emit = spans.emit
+    spans_on = spans.enabled
+    rpc = float(rpc_latency)
+
+    def _prep(desc):
+        """Slice one chunk's columns (the only per-chunk allocations)."""
+        if desc is None:
+            return None
+        a, b, recv_k, sync_req = desc
+        return (a, b, ts_arr[a:b].tolist(), plan.fqdns[a:b], recv_k, sync_req)
+
     try:
-        batches: list[list] = [[] for _ in specs]
-
-        def flush(s: int) -> None:
-            if batches[s]:
-                conns[s].send(batches[s])
-                batches[s] = []
-
-        for k in range(len(plan)):
-            t = float(plan.timestamps[k])
-            clk.now = t
-            if k in sync_set:
-                for s in range(len(specs)):
-                    batches[s].append(("sync", k, t))
-                    flush(s)
+        descs = _chunk_descs(segments, ts_arr, chunk)
+        prepared = _prep(next(descs, None))
+        if prepared is None and segments:  # pragma: no cover - defensive
+            raise RuntimeError("chunk walk produced no descriptors")
+        while prepared is not None:
+            a, b, tlist, fq, recv_k, sync_req = prepared
+            if recv_k is not None:
                 for s, conn in enumerate(conns):
                     msg = _recv(conn, s)
-                    assert msg[0] == "loads" and msg[1] == k
+                    assert msg[0] == "loads" and msg[1] == recv_k
                     loads.update(msg[2])
-            fqdn = plan.fqdns[k]
-            handle = spans.begin("lb_pick", tag=fqdn)
-            target = balancer.pick(fqdn)
-            spans.end(handle)
-            placements += 1
-            # The RPC-hop span the single-process forward process records:
-            # begin at the pick, end at delivery (pick time + seam latency).
-            rpc = spans.begin("lb_rpc", tag=target)
-            clk.now = t + rpc_latency
-            spans.end(rpc)
-            clk.now = t
-            s = shard_of[target]
-            batches[s].append(("dispatch", k, t, fqdn, target, k + 1))
-            if len(batches[s]) >= BATCH_ENTRIES:
-                flush(s)
+            m = b - a
+            picks = np.empty(m, dtype=np.int32)
+            if arrival_clock:
+                for i in range(m):
+                    clk.now = tlist[i]
+                    picks[i] = worker_ids[pick(fq[i])]
+            else:
+                if m:
+                    clk.now = tlist[0]   # single clock write per epoch
+                for i in range(m):
+                    picks[i] = worker_ids[pick(fq[i])]
+            placements += m
+            # Columnar per-shard encode + send (at most one message per
+            # shard for any epoch that fits in ``chunk``).
+            kcol = np.arange(a, b, dtype=np.int64)
+            tcol = ts_arr[a:b]
+            ccol = fqdn_codes[a:b]
+            owners = shard_of[picks] if m else picks
+            for s, conn in enumerate(conns):
+                if m:
+                    mask = owners == s
+                    any_here = bool(mask.any())
+                else:
+                    any_here = False
+                if not any_here and sync_req is None:
+                    continue
+                if any_here:
+                    msg = ("E", kcol[mask], tcol[mask], ccol[mask],
+                           local_of[picks[mask]], sync_req)
+                else:
+                    msg = ("E", kcol[:0], tcol[:0], ccol[:0],
+                           picks[:0], sync_req)
+                _send(conn, s, msg)
+                sent[s] += 1
+            # Shards are now simulating this epoch (and computing the
+            # next loads): overlap the coordinator-side work — slicing
+            # the next chunk and accounting this one's spans.
+            nxt = _prep(next(descs, None))
+            if spans_on:
+                names = worker_names
+                for i in range(m):
+                    t = tlist[i]
+                    f = fq[i]
+                    emit("lb_pick", t, t, f)
+                    emit("lb_rpc", t, t + rpc, names[picks[i]])
+            prepared = nxt
 
-        payloads = []
-        for s in range(len(specs)):
-            batches[s].append(("finish",))
-            flush(s)
         for s, conn in enumerate(conns):
-            msg = _recv(conn, s)
-            assert msg[0] == "result"
-            payloads.append(msg[1])
+            _send(conn, s, ("F",))
+        summaries_parts: list[list] = [[] for _ in specs]
+        seam_parts: list[list] = [[] for _ in specs]
+        per_worker: dict[str, int] = {}
+        tele_parts = None
+        if telemetry_config is not None:
+            from .merge import ShardTelemetryParts
+
+            tele_parts = [
+                ShardTelemetryParts(shard_index=s, spool_dir=spool_dir)
+                for s in range(num_shards)
+            ]
+        for s, conn in enumerate(conns):
+            while True:
+                msg = _recv(conn, s)
+                if msg[0] == "part":
+                    kind, chunk_items = msg[1], msg[2]
+                    if kind == "summaries":
+                        summaries_parts[s].extend(chunk_items)
+                    elif kind == "seam":
+                        seam_parts[s].extend(chunk_items)
+                    elif tele_parts is not None:
+                        tele_parts[s].append(kind, chunk_items)
+                    else:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            f"shard {s} streamed unexpected part {kind!r}"
+                        )
+                    continue
+                assert msg[0] == "result"
+                payload = msg[1]
+                break
+            per_worker.update(payload["per_worker_records"])
+            if tele_parts is not None:
+                tele_parts[s].set_meta(payload["telemetry"])
         for p in procs:
             p.join()
     finally:
@@ -248,21 +441,13 @@ def run_sharded_replay(
             conn.close()
 
     summaries = sorted(
-        (row for payload in payloads for row in payload["summaries"]),
+        (row for rows in summaries_parts for row in rows),
         key=lambda row: row[0],
     )
-    per_worker: dict[str, int] = {}
-    for payload in payloads:
-        per_worker.update(payload["per_worker_records"])
 
     seam_log = None
     if collect_seam:
-        by_k = {k: deliver for payload in payloads
-                for k, deliver in payload["seam"]}
-        seam_log = [
-            (k, float(plan.timestamps[k]), deliver)
-            for k, deliver in sorted(by_k.items())
-        ]
+        seam_log = _assemble_seam_log(ts_arr, seam_parts)
 
     telemetry = None
     if telemetry_config is not None:
@@ -270,8 +455,8 @@ def run_sharded_replay(
 
         telemetry = MergedTelemetry(
             config=telemetry_config,
-            worker_names=[cfg.name for cfg in cfgs],
-            shard_payloads=[payload["telemetry"] for payload in payloads],
+            worker_names=worker_names,
+            shard_parts=tele_parts,
             lb_spans=spans.spans(),
             lb_loads=lb_loads,
         )
@@ -283,4 +468,10 @@ def run_sharded_replay(
         per_worker_records=per_worker,
         telemetry=telemetry,
         seam_log=seam_log,
+        seam_stats={
+            "epochs": len(segments),
+            "sync_points": len(sync_set),
+            "messages_per_shard": max(sent) if sent else 0,
+            "chunk_size": chunk,
+        },
     )

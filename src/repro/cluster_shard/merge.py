@@ -1,70 +1,183 @@
 """Merging per-shard telemetry into one ``repro inspect``-readable run.
 
-Each shard ships picklable telemetry parts (records, retained spans,
-phase breakdowns, registry pieces, gauge timeseries); the coordinator
+Each shard streams its telemetry in bounded, pre-sorted chunks (records,
+retained spans, phase breakdowns — see ``protocol.py``); the coordinator
 adds its own LB spans and the balancer-visible load signal.  The merge
-reassembles exactly what a single-process :class:`~repro.telemetry.runs.
-Telemetry` would hold — same sort orders, same worker-order float
-accumulation — so the exported run directory is interchangeable with a
+never concatenates-and-resorts: per-shard streams arrive sorted by the
+canonical keys, so every view is a k-way ``heapq.merge`` — and because
+``heapq.merge`` is stable (earlier stream wins ties) over stably-sorted
+inputs, the result is element-for-element identical to the stable sort of
+the concatenation a single-process :class:`~repro.telemetry.runs.
+Telemetry` performs.  Same sort orders, same worker-order float
+accumulation — the exported run directory is interchangeable with a
 serial run's (invocation ids aside: sharded runs number arrivals 0..N-1
 plus one, serial runs continue the process-global counter; all *relative*
 ids match).
+
+With a ``spool_dir``, :class:`ShardTelemetryParts` appends each incoming
+chunk to an on-disk pickle spool instead of RAM, and the merge re-reads
+the spools as lazy streams — a full-trace replay's records and spans
+never live in coordinator memory all at once.  ``summary()`` is the one
+documented exception: it materializes the merged record and breakdown
+lists transiently (outcome tallies and record↔breakdown matching need
+random access), then drops them.
 """
 
 from __future__ import annotations
 
 import copy
+import heapq
+import os
+import pickle
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from ..metrics.registry import MetricsRegistry
 
-__all__ = ["MergedTelemetry"]
+__all__ = ["MergedTelemetry", "ShardTelemetryParts"]
 
 # Matches telemetry.decomposition's canonical breakdown ordering.
 _BREAKDOWN_KEY = lambda b: (b.invocation_id is None, b.invocation_id, b.tag)  # noqa: E731
+_RECORD_KEY = lambda r: (r.arrival, r.invocation_id)  # noqa: E731
+_SPAN_KEY = lambda s: (s.start, s.end, s.name)  # noqa: E731
+
+_STREAM_KINDS = ("records", "spans", "breakdowns")
+
+
+class ShardTelemetryParts:
+    """One shard's streamed telemetry: chunk sink while the run drains,
+    re-iterable streams afterwards.
+
+    The coordinator appends ``("part", kind, chunk)`` payloads as they
+    arrive; with ``spool_dir`` set each chunk is pickled straight to a
+    per-kind spool file (constant coordinator memory), otherwise chunks
+    stay in RAM.  Either way :meth:`stream` yields the items back in
+    arrival order — which the shard guarantees is merge-key order.
+    """
+
+    def __init__(self, shard_index: int, spool_dir: Optional[Union[str, Path]] = None):
+        self.shard_index = int(shard_index)
+        self.meta: Optional[dict] = None
+        self._spool_dir = None if spool_dir is None else Path(spool_dir)
+        self._chunks: dict[str, list] = {kind: [] for kind in _STREAM_KINDS}
+        self._files: dict[str, object] = {}
+        if self._spool_dir is not None:
+            self._spool_dir.mkdir(parents=True, exist_ok=True)
+
+    def _spool_path(self, kind: str) -> Path:
+        return self._spool_dir / f"shard{self.shard_index}-{kind}.pkl"
+
+    def append(self, kind: str, chunk: list) -> None:
+        if kind not in self._chunks:
+            raise ValueError(f"unknown telemetry stream {kind!r}")
+        if self._spool_dir is None:
+            self._chunks[kind].append(chunk)
+            return
+        fh = self._files.get(kind)
+        if fh is None:
+            fh = self._files[kind] = open(self._spool_path(kind), "wb")
+        pickle.dump(chunk, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def set_meta(self, meta: Optional[dict]) -> None:
+        """Terminal payload arrived: stop accepting chunks, keep the small
+        leftovers (registry parts, gauge series, sample count)."""
+        self.meta = meta
+        for fh in self._files.values():
+            fh.close()
+        self._files = {}
+
+    def stream(self, kind: str) -> Iterator:
+        if kind not in self._chunks:
+            raise ValueError(f"unknown telemetry stream {kind!r}")
+        if self._spool_dir is None:
+            for chunk in self._chunks[kind]:
+                yield from chunk
+            return
+        path = self._spool_path(kind)
+        if not path.exists():
+            return
+        with open(path, "rb") as fh:
+            while True:
+                try:
+                    chunk = pickle.load(fh)
+                except EOFError:
+                    return
+                yield from chunk
+
+    def cleanup(self) -> None:
+        """Drop spool files (no-op for in-RAM parts)."""
+        for fh in self._files.values():
+            fh.close()
+        self._files = {}
+        if self._spool_dir is None:
+            return
+        for kind in _STREAM_KINDS:
+            try:
+                os.unlink(self._spool_path(kind))
+            except FileNotFoundError:
+                pass
 
 
 class MergedTelemetry:
-    """Telemetry views over merged shard payloads.
+    """Telemetry views over merged shard streams.
 
     Mirrors the :class:`~repro.telemetry.runs.Telemetry` surface the
     experiments and tests consume — ``records()``, ``spans()``,
     ``breakdowns()``, ``merged_metrics()``, ``summary()``, ``export()`` —
-    without an environment or live workers behind it.
+    without an environment or live workers behind it, plus lazy
+    ``iter_*`` variants that never materialize the merged sequence.
     """
 
-    def __init__(self, config, worker_names, shard_payloads, lb_spans, lb_loads):
+    def __init__(self, config, worker_names, shard_parts, lb_spans, lb_loads):
         self.config = config
         self.worker_names = list(worker_names)
-        self._records = [r for p in shard_payloads for r in p["records"]]
-        self._records.sort(key=lambda r: (r.arrival, r.invocation_id))
-        self._spans = [s for p in shard_payloads for s in p["spans"]]
-        self._spans.extend(lb_spans)
-        self._spans.sort(key=lambda s: (s.start, s.end, s.name))
-        self._breakdowns = [b for p in shard_payloads for b in p["breakdowns"]]
-        self._breakdowns.sort(key=_BREAKDOWN_KEY)
+        self._parts: list[ShardTelemetryParts] = list(shard_parts or [])
+        # The LB emits pick/rpc spans in arrival order, which is *not*
+        # start-sorted when arrivals share a timestamp (a pick span (t, t)
+        # sorts before the previous arrival's rpc span (t, t+latency)); a
+        # stable sort here keeps the overall merge equal to the serial
+        # path's stable sort of the full concatenation.
+        self._lb_spans = sorted(lb_spans, key=_SPAN_KEY)
+        self.lb_loads = lb_loads
+        metas = [p.meta or {} for p in self._parts]
         # (name, counters, gauges, histograms) per worker, cluster order —
         # shards hold contiguous worker ranges, so shard order is worker
         # order and counter/histogram accumulation order matches serial.
-        self._metric_parts = [part for p in shard_payloads for part in p["metrics"]]
+        self._metric_parts = [part for m in metas for part in m.get("metrics", ())]
         self.series = {}
-        for p in shard_payloads:
-            self.series.update(p["series"])
-        self.lb_loads = lb_loads
+        for m in metas:
+            self.series.update(m.get("series", {}))
         # Shards tick the same simulated grid over the same horizon, so
         # every shard saw the same number of sampler rounds.
-        self.samples = max((p["samples"] for p in shard_payloads), default=0)
+        self.samples = max((m.get("samples", 0) for m in metas), default=0)
+
+    # -- streams (merge-key order, never materialized) ----------------------
+    def iter_records(self) -> Iterator:
+        return heapq.merge(
+            *(p.stream("records") for p in self._parts), key=_RECORD_KEY
+        )
+
+    def iter_spans(self) -> Iterator:
+        return heapq.merge(
+            *(p.stream("spans") for p in self._parts),
+            iter(self._lb_spans),
+            key=_SPAN_KEY,
+        )
+
+    def iter_breakdowns(self) -> Iterator:
+        return heapq.merge(
+            *(p.stream("breakdowns") for p in self._parts), key=_BREAKDOWN_KEY
+        )
 
     # -- views (same shapes as Telemetry's) --------------------------------
     def records(self) -> list:
-        return list(self._records)
+        return list(self.iter_records())
 
     def spans(self) -> list:
-        return list(self._spans)
+        return list(self.iter_spans())
 
     def breakdowns(self) -> list:
-        return list(self._breakdowns)
+        return list(self.iter_breakdowns())
 
     def merged_metrics(self) -> MetricsRegistry:
         """Counters summed, histograms merged, gauges worker-prefixed —
@@ -91,9 +204,9 @@ class MergedTelemetry:
             self.config,
             self.worker_names,
             self.samples,
-            self._records,
+            list(self.iter_records()),
             self.merged_metrics(),
-            self._breakdowns,
+            list(self.iter_breakdowns()),
         )
 
     def export(self, run_dir: Union[str, Path]) -> dict[str, Path]:
@@ -102,11 +215,19 @@ class MergedTelemetry:
         series = dict(self.series)
         if self.lb_loads is not None and len(self.lb_loads):
             series["lb"] = self.lb_loads
+        # summary() first (its own transient passes), then stream the
+        # record/span files straight off the merged iterators.
+        summary = self.summary()
         return write_run_dir(
             run_dir,
             series=series,
-            spans=self._spans,
-            records=self._records,
+            spans=self.iter_spans(),
+            records=self.iter_records(),
             registry=self.merged_metrics(),
-            summary=self.summary(),
+            summary=summary,
         )
+
+    def cleanup(self) -> None:
+        """Release any on-disk spools backing the merged streams."""
+        for p in self._parts:
+            p.cleanup()

@@ -9,22 +9,33 @@ simulated time ``t`` cannot affect any worker before ``t + rpc_latency``,
 and a shard may simulate up to the next seam event before hearing from
 the coordinator again.
 
-Seam message schema (plain tuples, picklable; full walkthrough in
-``docs/SHARDING.md``):
+The seam is **epoch batched**: the coordinator precomputes the arrivals
+at which the balancer reads worker loads (:func:`sync_indices`), walks
+the plan one *epoch* (the arrivals between two consecutive sync points)
+at a time, and sends each shard at most one compact columnar message per
+epoch instead of one entry per invocation.  Full walkthrough in
+``docs/SHARDING.md``.
 
-coordinator → shard, sent as batches (lists of entries, one ``recv`` per
-batch, times non-decreasing within and across batches):
+Seam message schema (picklable tuples; times non-decreasing within and
+across messages):
 
-``("dispatch", k, t, fqdn, worker, invocation_id)``
-    Arrival ``k`` of the plan, at time ``t``, was placed on ``worker``
-    (one of this shard's).  The shard advances to ``t`` and starts the
-    forward process that delivers to the worker at ``t + rpc_latency``.
-``("sync", k, t)``
-    Arrival ``k`` is one where the balancer reads worker loads (see
-    :func:`sync_indices`).  The shard advances to ``t``, reports its
-    workers' loads, and blocks until the next batch.
-``("finish",)``
-    No more arrivals; the shard runs out its horizon and reports results.
+coordinator → shard:
+
+``("E", ks, ts, codes, locs, sync)``
+    One epoch chunk.  ``ks``/``ts``/``codes``/``locs`` are parallel numpy
+    arrays over this shard's dispatches in the chunk: plan arrival index
+    (``int64``), arrival timestamp (``float64``), fqdn id into the
+    :class:`ShardSpec` vocabulary (``int32``), and shard-local worker
+    index (``int32``).  The shard walks them in order, advancing to each
+    ``t`` and starting the forward process that delivers to the worker at
+    ``t + rpc_latency`` with ``invocation_id = k + 1``.  ``sync`` is
+    ``None`` or ``(k, t)``: after the dispatches, advance to ``t``,
+    report worker loads for sync arrival ``k``, and block until the next
+    message.  Pipelining: the sync request for epoch ``e+1``'s boundary
+    rides in epoch ``e``'s message, so shards compute the loads while the
+    coordinator is still accounting for epoch ``e``.
+``("F",)``
+    No more arrivals; the shard runs out its horizon and streams results.
 
 shard → coordinator:
 
@@ -32,28 +43,40 @@ shard → coordinator:
     Queue-plus-running load of every worker in this shard, observed at
     the sync arrival's timestamp — the exact value a single-process
     balancer would read live.
+``("part", kind, chunk)``
+    One bounded chunk of a terminal result stream (``kind`` in
+    ``{"summaries", "seam", "records", "spans", "breakdowns"}``);
+    telemetry kinds arrive pre-sorted by the merge key so the coordinator
+    can k-way merge without re-sorting.
 ``("result", payload)``
-    Terminal message: invocation summaries, per-worker record counts,
-    the optional telemetry payload, and the optional seam log.
+    Terminal message after all parts: per-worker record counts plus the
+    small telemetry leftovers (metric registries, gauge series, sample
+    count).
 ``("error", traceback_text)``
-    The shard died; the coordinator re-raises.
+    The shard died; the coordinator re-raises with the shard index.
 """
 
 from __future__ import annotations
 
-import math
 import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
+from ..loadbalancer.policies import snap_to_grid
+
 __all__ = [
     "SHARDS_ENV_VAR",
     "LOAD_POLICIES",
+    "EPOCH_CHUNK",
+    "RESULT_CHUNK",
     "ShardingUnavailable",
     "ShardSpec",
     "resolve_shards",
     "partition_workers",
     "sync_indices",
+    "plan_epochs",
 ]
 
 # Environment-variable fallback for the --shards CLI flag.
@@ -62,6 +85,16 @@ SHARDS_ENV_VAR = "REPRO_SHARDS"
 # Balancer policies whose pick() reads worker loads (everything except
 # round robin); only these ever need load synchronization at the seam.
 LOAD_POLICIES = frozenset({"ch_bl", "chbl", "least_loaded"})
+
+# Arrivals per seam message when an epoch (or a no-sync stream) is larger
+# than this: bounds the coordinator's working set and each pickle's size
+# while keeping the one-message-per-epoch property for every epoch that
+# fits (status-interval epochs are orders of magnitude smaller).
+EPOCH_CHUNK = 16384
+
+# Items per ("part", kind, chunk) result message: shards stream their
+# terminal payloads in bounded pieces instead of one giant pickle.
+RESULT_CHUNK = 4096
 
 
 class ShardingUnavailable(RuntimeError):
@@ -78,6 +111,7 @@ class ShardSpec:
     registrations: tuple           # FunctionRegistration, broadcast order
     rpc_latency: float
     horizon: float                 # absolute sim time to run until
+    fqdn_vocab: tuple = ()         # fqdn strings, indexed by dispatch codes
     telemetry: Optional[object] = None   # TelemetryConfig or None
     collect_seam: bool = False     # record (k, delivery time) per dispatch
 
@@ -128,19 +162,74 @@ def sync_indices(
     agree without negotiation: a live status board (``interval=None``)
     reads loads at every pick; a snapshot board only when the arrival
     rolls the board into a new interval epoch (mirroring
-    :meth:`repro.loadbalancer.policies.StatusBoard.load`); round robin
-    never reads loads, so those runs stream dispatches with no
-    synchronization at all.
+    :meth:`repro.loadbalancer.policies.StatusBoard.load`, including its
+    ``snap_to_grid`` epoch floor — the two share the helper, bit for
+    bit); round robin never reads loads, so those runs stream dispatches
+    with no synchronization at all.
+
+    The walk is epoch-jumping rather than per-arrival: each refresh
+    binary-searches for the next arrival past ``snapped + interval`` and
+    then fixes the boundary up with the *exact* ``t - snapped >=
+    interval`` predicate the status board evaluates, so the result is
+    identical to a per-arrival scan at a cost of
+    ``O(epochs · log(arrivals))``.  Empty plans and duplicate timestamps
+    inside one epoch are handled (duplicates never re-sync: their delta
+    to the epoch floor is unchanged).
     """
     if lb_policy.lower() not in LOAD_POLICIES:
         return frozenset()
+    ts = np.asarray(timestamps, dtype=np.float64)
+    n = int(ts.size)
+    if n == 0:
+        return frozenset()
     if status_interval is None:
-        return frozenset(range(len(timestamps)))
+        return frozenset(range(n))
+    interval = float(status_interval)
     out = []
-    snapped: Optional[float] = None
-    for i, t in enumerate(timestamps):
-        t = float(t)
-        if snapped is None or t - snapped >= status_interval:
-            out.append(i)
-            snapped = math.floor(t / status_interval) * status_interval
+    i = 0
+    while i < n:
+        out.append(i)
+        snapped = snap_to_grid(float(ts[i]), interval)
+        # Candidate boundary via binary search, then an exact-predicate
+        # fixup: ``t >= snapped + interval`` and ``t - snapped >=
+        # interval`` can disagree by one ulp, and the board evaluates the
+        # latter.
+        j = int(np.searchsorted(ts, snapped + interval, side="left"))
+        if j <= i:
+            j = i + 1
+        while j > i + 1 and float(ts[j - 1]) - snapped >= interval:
+            j -= 1
+        while j < n and float(ts[j]) - snapped < interval:
+            j += 1
+        i = j
     return frozenset(out)
+
+
+def plan_epochs(
+    num_arrivals: int, syncs: Sequence[int]
+) -> list[tuple[Optional[int], int, int]]:
+    """Split ``range(num_arrivals)`` into seam epochs.
+
+    Returns ``(sync_k, start, end)`` segments covering the arrival range:
+    ``sync_k`` is the sync arrival whose loads must be in hand before the
+    segment's picks (always the segment's own ``start``), or ``None`` for
+    a segment needing no loads (a no-load policy's whole plan, or the
+    prefix before the first sync).  Segments are contiguous, half-open,
+    and in order; an empty plan yields no segments.
+    """
+    if num_arrivals < 0:
+        raise ValueError("num_arrivals must be >= 0")
+    if num_arrivals == 0:
+        return []
+    ks = sorted(syncs)
+    if ks and (ks[0] < 0 or ks[-1] >= num_arrivals):
+        raise ValueError("sync index out of plan range")
+    segments: list[tuple[Optional[int], int, int]] = []
+    if not ks:
+        return [(None, 0, num_arrivals)]
+    if ks[0] > 0:
+        segments.append((None, 0, ks[0]))
+    bounds = ks + [num_arrivals]
+    for e in range(len(ks)):
+        segments.append((ks[e], bounds[e], bounds[e + 1]))
+    return segments

@@ -10,6 +10,7 @@ latency percentiles, locality, per-worker balance).
 
 from __future__ import annotations
 
+import tempfile
 import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -99,19 +100,31 @@ def _run_study_sharded(
         )
         for f in trace.functions
     ]
-    outcome = run_sharded_replay(
-        plan,
-        num_workers=num_workers,
-        shards=shards,
-        registrations=registrations,
-        config=config,
-        lb_policy=lb_policy,
-        status_interval=status_interval,
-        grace=300.0,
-        telemetry_config=telemetry_config,
-    )
-    if outcome.telemetry is not None:
-        outcome.telemetry.export(telemetry_dir)
+    spool = None
+    if telemetry_config is not None:
+        # Stream the shards' record/span/breakdown chunks through an
+        # on-disk spool instead of coordinator RAM; the spool lives only
+        # until the run directory is written.
+        spool = tempfile.TemporaryDirectory(prefix="repro-shard-spool-")
+    try:
+        outcome = run_sharded_replay(
+            plan,
+            num_workers=num_workers,
+            shards=shards,
+            registrations=registrations,
+            config=config,
+            lb_policy=lb_policy,
+            status_interval=status_interval,
+            grace=300.0,
+            telemetry_config=telemetry_config,
+            spool_dir=spool.name if spool is not None else None,
+        )
+        if outcome.telemetry is not None:
+            outcome.telemetry.export(telemetry_dir)
+            outcome.telemetry.cleanup()
+    finally:
+        if spool is not None:
+            spool.cleanup()
     # Summaries arrive in arrival order, mirroring replay_plan's return.
     done = [s for s in outcome.summaries if not s[1] and s[2]]
     e2e = [s[4] for s in done]

@@ -24,7 +24,30 @@ __all__ = [
     "CHBLPolicy",
     "StatusBoard",
     "make_balancer",
+    "snap_to_grid",
 ]
+
+
+def snap_to_grid(t: float, interval: float) -> float:
+    """Largest multiple of ``interval`` that is ``<= t`` (the snapshot
+    epoch a status report at time ``t`` belongs to).
+
+    This is THE epoch-floor rule: :meth:`StatusBoard.load` and the
+    cluster-shard seam's ``sync_indices`` both call it, so the sharded
+    coordinator can never disagree with a single-process balancer about
+    which arrival rolls the board into a new interval epoch.
+
+    ``math.floor(t / interval) * interval`` overflows for large
+    ``t / interval`` (the quotient saturates to ``inf``, or the floored
+    integer exceeds the float range); the fallback computes the same grid
+    point through ``fmod``, which cannot overflow.
+    """
+    t = float(t)            # numpy scalars warn (not raise) on overflow
+    interval = float(interval)
+    try:
+        return math.floor(t / interval) * interval
+    except OverflowError:
+        return t - math.fmod(t, interval)
 
 
 class LoadBalancingPolicy:
@@ -163,7 +186,7 @@ class StatusBoard:
             # A fresh round of status reports arrived; the epoch is the
             # grid slot the reports belong to, not the query time.
             self._snapshot = {}
-            self._snapped_at = math.floor(now / self.interval) * self.interval
+            self._snapped_at = snap_to_grid(now, self.interval)
             self.refreshes += 1
         value = self._snapshot.get(worker)
         if value is None:

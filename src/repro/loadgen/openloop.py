@@ -43,6 +43,11 @@ class InvocationPlan:
     fqdns: list[str]         # parallel to timestamps
     duration: float
 
+    # Arrivals per chunk for the streaming walk; large enough that the
+    # per-chunk Python overhead amortizes, small enough that a chunk's
+    # per-arrival intermediates never approach the plan's own footprint.
+    CHUNK = 16384
+
     def __len__(self) -> int:
         return int(self.timestamps.size)
 
@@ -51,6 +56,25 @@ class InvocationPlan:
             raise ValueError("timestamps and fqdns must be parallel")
         if self.timestamps.size and np.any(np.diff(self.timestamps) < 0):
             raise ValueError("timestamps must be sorted")
+
+    def iter_chunks(
+        self, chunk_size: Optional[int] = None
+    ) -> Generator[tuple[int, np.ndarray, list[str]], None, None]:
+        """Yield ``(start_index, timestamps_view, fqdn_slice)`` chunks.
+
+        The timestamp column is a zero-copy view into the plan; the fqdn
+        slice is the only per-chunk allocation.  Replay paths walk these
+        instead of indexing the plan one arrival at a time, so a
+        million-invocation plan never grows per-invocation intermediates
+        beyond one chunk's worth.
+        """
+        chunk = int(chunk_size or self.CHUNK)
+        if chunk < 1:
+            raise ValueError("chunk_size must be >= 1")
+        n = len(self)
+        for a in range(0, n, chunk):
+            b = min(a + chunk, n)
+            yield a, self.timestamps[a:b], self.fqdns[a:b]
 
 
 def build_plan(
@@ -109,12 +133,18 @@ def replay_plan(
 
     def injector() -> Generator:
         start = env.now
-        for i in range(len(plan)):
-            target = start + float(plan.timestamps[i])
-            delay = target - env.now
-            if delay > 0:
-                yield env.timeout(delay)
-            pending.append(worker.async_invoke(plan.fqdns[i]))
+        invoke = worker.async_invoke
+        append = pending.append
+        timeout = env.timeout
+        for _, ts, fqdns in plan.iter_chunks():
+            # One vectorized float conversion per chunk; adding the start
+            # offset in numpy is the same IEEE add as start + float(t).
+            targets = (start + ts).tolist()
+            for target, fqdn in zip(targets, fqdns):
+                delay = target - env.now
+                if delay > 0:
+                    yield timeout(delay)
+                append(invoke(fqdn))
 
     proc = env.process(injector(), name="open-loop-injector")
     horizon = env.now + plan.duration + grace

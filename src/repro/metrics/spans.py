@@ -151,6 +151,25 @@ class SpanRecorder:
         finally:
             self.end(handle)
 
+    def emit(
+        self, name: str, start: float, end: float, tag: Optional[str] = None
+    ) -> None:
+        """Record a completed span with explicit times.
+
+        The batch-emission path for callers that already know both
+        endpoints (the cluster-shard coordinator accounts a whole epoch of
+        ``lb_pick``/``lb_rpc`` spans after the fact instead of toggling a
+        virtual clock per arrival).  Equivalent to ``begin``/``end`` under
+        a clock that returned ``start`` then ``end`` — the duration is the
+        same ``end - start`` float operation — without touching the clock
+        or allocating a handle.
+        """
+        if not self.enabled:
+            return
+        self._durations[name].append(end - start)
+        if self.keep_spans:
+            self._spans.append(Span(name=name, start=start, end=end, tag=tag))
+
     def record(self, name: str, duration: float, tag: Optional[str] = None) -> None:
         """Record an externally measured duration under ``name``."""
         if not self.enabled:
@@ -245,16 +264,16 @@ class SpanRecorder:
 def dump_spans_jsonl(spans: Iterable[Span], path: Union[str, Path]) -> int:
     """Write spans as JSON lines (the :meth:`SpanRecorder.dump_jsonl`
     format); also used to dump spans merged from several recorders.
-    Returns the number of spans written."""
+    ``spans`` may be any iterable — a lazy stream is written through
+    without being materialized.  Returns the number of spans written."""
     dumps = json.dumps
-    lines = [
-        dumps({"name": s.name, "start": s.start, "end": s.end, "tag": s.tag})
-        for s in spans
-    ]
-    count = len(lines)
-    lines.append("")  # trailing newline
+    count = 0
     with open(path, "w") as fh:
-        fh.write("\n".join(lines))
+        for s in spans:
+            fh.write(dumps({"name": s.name, "start": s.start, "end": s.end,
+                            "tag": s.tag}))
+            fh.write("\n")
+            count += 1
     return count
 
 

@@ -64,8 +64,8 @@ def write_run_dir(
     run_dir: Union[str, Path],
     *,
     series: dict,
-    spans: list,
-    records: list,
+    spans,
+    records,
     registry: MetricsRegistry,
     summary: dict,
 ) -> dict[str, Path]:
@@ -73,7 +73,10 @@ def write_run_dir(
 
     :class:`Telemetry` feeds this from one live pipeline; the cluster-shard
     merge feeds it from per-shard payloads.  Either way the directory is
-    identical and ``repro inspect`` reads it back the same.
+    identical and ``repro inspect`` reads it back the same.  ``spans`` and
+    ``records`` may be any single-pass iterables (each is walked exactly
+    once, straight onto disk) — the cluster-shard merge hands over lazy
+    k-way-merged streams.
     """
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)

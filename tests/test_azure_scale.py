@@ -1,0 +1,98 @@
+"""The azure-scale runner: scaling rows, provenance, and the equality gate.
+
+Runs are tiny (tens of functions, minutes of trace) — the point here is
+the runner's plumbing, not its numbers: every shard count reduces to the
+same summary, the JSON record carries the provenance convention
+(``cpu_count``, ``WARNING`` on undersized machines), the CSV-directory
+path round-trips, and sharding failures degrade to a recorded fallback
+instead of an exception.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.azure_scale import run_azure_scale
+from repro.trace.azure import AzureTraceConfig, generate_dataset
+from repro.trace.azure_io import write_azure_csvs
+
+
+def _tiny(**kwargs):
+    kwargs.setdefault("num_functions", 30)
+    kwargs.setdefault("minutes", 8)
+    kwargs.setdefault("num_workers", 4)
+    kwargs.setdefault("shard_counts", (1, 2))
+    return run_azure_scale(**kwargs)
+
+
+def test_azure_scale_rows_share_one_summary(tmp_path):
+    out = tmp_path / "BENCH_azure_scale.json"
+    report = _tiny(out_path=out)
+    assert report.summaries_match
+    assert [r.shards for r in report.rows] == [1, 2]
+    assert report.rows[0].engine == "serial"
+    for row in report.rows:
+        assert row.summary == report.summary
+        assert row.invocations == report.summary["invocations"]
+        assert row.invocations > 0
+        assert row.wall_s > 0
+        assert row.inv_per_sec > 0
+    # The sharded row carries the seam's message accounting (unless the
+    # sandbox forced a serial fallback, which the row must say).
+    sharded = report.rows[1]
+    if sharded.fallback_reason is None:
+        assert sharded.engine == "sharded"
+        stats = sharded.seam_stats
+        assert 0 < stats["messages_per_shard"] <= stats["epochs"] + 1
+
+
+def test_azure_scale_record_provenance(tmp_path):
+    out = tmp_path / "bench.json"
+    report = _tiny(out_path=out)
+    record = json.loads(out.read_text())
+    assert record == report.record
+    for key in ("benchmark", "dataset", "cpu_count", "rows",
+                "summaries_match", "summary", "recorded_at",
+                "scaling_meaningful", "rss_note"):
+        assert key in record, key
+    assert record["dataset"]["source"] == "synthetic"
+    assert record["dataset"]["invocations"] == report.summary["invocations"]
+    for row in record["rows"]:
+        assert row["peak_rss_mb"] >= 0.0
+    if record["cpu_count"] < 2:
+        assert "WARNING" in record
+        assert record["scaling_meaningful"] is False
+
+
+def test_azure_scale_reads_csv_directory(tmp_path):
+    dataset = generate_dataset(AzureTraceConfig(
+        num_functions=25, duration_minutes=6, seed=99,
+    ))
+    data_dir = write_azure_csvs(dataset, tmp_path / "azure")
+    out = tmp_path / "bench.json"
+    report = run_azure_scale(
+        data_dir, num_workers=3, shard_counts=(1,), out_path=out,
+    )
+    assert report.dataset["source"] == str(data_dir)
+    assert report.summaries_match
+    assert report.summary["invocations"] > 0
+
+
+def test_azure_scale_rejects_bad_shard_counts(tmp_path):
+    with pytest.raises(ValueError, match="shard counts"):
+        _tiny(shard_counts=(0,), out_path=tmp_path / "b.json")
+
+
+def test_azure_scale_records_fallback(tmp_path, monkeypatch):
+    import repro.experiments.azure_scale as mod
+    from repro.cluster_shard import ShardingUnavailable
+
+    def boom(*args, **kwargs):
+        raise ShardingUnavailable("test: no processes here")
+
+    monkeypatch.setattr(mod, "run_sharded_replay", boom)
+    report = _tiny(out_path=tmp_path / "b.json")
+    sharded_row = report.rows[1]
+    assert sharded_row.engine == "serial"
+    assert "no processes here" in sharded_row.fallback_reason
+    assert report.summaries_match

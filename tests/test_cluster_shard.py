@@ -160,6 +160,64 @@ def test_sharded_golden_summaries_cover_all_arrivals():
     )
 
 
+# ---------------------------------------------------------------- seam budget
+def test_coordinator_sends_at_most_one_message_per_shard_per_epoch():
+    """The epoch-batching contract, asserted at the protocol level: the
+    coordinator's send count never exceeds one message per epoch plus the
+    pipeline-priming sync request."""
+    outcome = sharded_golden(2)
+    stats = outcome.seam_stats
+    assert stats is not None
+    assert stats["sync_points"] == len(
+        sync_indices(golden_plan().timestamps, "ch_bl", 2.0)
+    )
+    assert stats["epochs"] >= stats["sync_points"]
+    assert 0 < stats["messages_per_shard"] <= stats["epochs"] + 1
+
+
+def test_chunked_epochs_stay_bit_identical():
+    """Splitting epochs into tiny chunks must not change a single bit —
+    only the message count."""
+    whole = sharded_golden(2)
+    chunked = sharded_golden(2, chunk_size=4)
+    assert chunked.summaries == whole.summaries
+    assert chunked.per_worker_records == whole.per_worker_records
+    assert chunked.seam_stats["messages_per_shard"] >= (
+        whole.seam_stats["messages_per_shard"]
+    )
+
+
+# ---------------------------------------------------------------- seam log
+def test_empty_plan_with_collect_seam():
+    """Satellite regression: seam-log assembly on a plan with no arrivals
+    must return an empty log, not trip over unbound locals."""
+    plan = InvocationPlan(np.empty(0), [], 1.0)
+    try:
+        outcome = run_sharded_replay(
+            plan, num_workers=3, shards=2, registrations=FUNCTIONS,
+            config=GOLDEN_CONFIG, status_interval=2.0, horizon=5.0,
+            collect_seam=True,
+        )
+    except ShardingUnavailable as exc:  # pragma: no cover - sandbox dependent
+        pytest.skip(f"shard processes unavailable here: {exc}")
+    assert outcome.summaries == []
+    assert outcome.seam_log == []
+    assert outcome.placements == 0
+    assert outcome.seam_stats["epochs"] == 0
+
+
+def test_assemble_seam_log_merges_and_orders():
+    from repro.cluster_shard.coordinator import _assemble_seam_log
+
+    ts = np.array([1.0, 2.0, 3.0])
+    parts = [[(2, 3.5), (0, 1.5)], [], None, [(1, 2.5)]]
+    assert _assemble_seam_log(ts, parts) == [
+        (0, 1.0, 1.5), (1, 2.0, 2.5), (2, 3.0, 3.5),
+    ]
+    assert _assemble_seam_log(ts, []) == []
+    assert _assemble_seam_log(np.empty(0), [[], []]) == []
+
+
 # ---------------------------------------------------------------- lookahead
 def test_seam_never_beats_the_lookahead():
     """Conservative-epoch soundness: no cross-seam message is delivered
