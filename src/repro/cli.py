@@ -9,8 +9,9 @@ Examples::
     python -m repro litmus --workloads skew_frequency
     python -m repro ablation --which queue
     python -m repro export-azure --out /tmp/azure-day --functions 1000
-    python -m repro --scale small --telemetry /tmp/run cluster-study
+    python -m repro --scale small --telemetry /tmp/run cluster-study --trace
     python -m repro inspect /tmp/run
+    python -m repro trace /tmp/run --top 5 --perfetto /tmp/run/trace.json
 
 Every command prints the paper-style table to stdout; ``--scale`` selects
 the experiment sizing (small/medium/full) and ``--jobs`` fans sweep
@@ -134,10 +135,37 @@ def build_parser() -> argparse.ArgumentParser:
              "single process; 0 = all cores); results are bit-identical "
              "at any shard count",
     )
+    cluster.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect causal trace trees into the telemetry run directory "
+             "(traces.jsonl; sharded runs also record the coordinator "
+             "flight log in flight.json); requires --telemetry; render "
+             "them afterwards with `repro trace RUN_DIR`",
+    )
     inspect = sub.add_parser(
         "inspect", help="summarize a telemetry run directory"
     )
     inspect.add_argument("run_dir", metavar="RUN_DIR")
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="critical-path report over a traced run directory "
+             "(one produced with cluster-study --trace)",
+    )
+    trace_cmd.add_argument("run_dir", metavar="RUN_DIR")
+    trace_cmd.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="render the N slowest invocations' critical paths (default: 5)",
+    )
+    trace_cmd.add_argument(
+        "--percentile", type=float, default=None, metavar="P",
+        help="also render the invocation at the Pth e2e-latency percentile",
+    )
+    trace_cmd.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="export the traces as Chrome trace-event JSON (loadable in "
+             "Perfetto / chrome://tracing) to PATH",
+    )
     export = sub.add_parser(
         "export-azure", help="write a synthetic dataset in the Azure CSV schema"
     )
@@ -253,6 +281,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{'unreachable' if size is None else f'{size:,.0f} MB'}"
         )
     elif args.command == "cluster-study":
+        if args.trace and telemetry_dir is None:
+            parser.error("--trace requires --telemetry DIR (or "
+                         f"${TELEMETRY_ENV_VAR}) to hold traces.jsonl")
+        if args.trace and args.compare_lb:
+            parser.error("--trace applies to a single study run, not the "
+                         "LB sweep")
         if args.compare_lb:
             from .experiments import run_cluster_lb_sweep
 
@@ -263,14 +297,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from .experiments import run_cluster_study
 
             result = run_cluster_study(scale, telemetry_dir=telemetry_dir,
-                                       shards=args.shards)
+                                       shards=args.shards,
+                                       trace_invocations=args.trace)
             out.append(format_table([result.as_dict()], title="Cluster study"))
             if telemetry_dir is not None:
                 out.append(f"telemetry run exported to {telemetry_dir}")
+                if args.trace:
+                    out.append(
+                        f"causal traces collected: repro trace {telemetry_dir}"
+                    )
     elif args.command == "inspect":
         from .telemetry import inspect_report
 
         out.append(inspect_report(args.run_dir).rstrip())
+    elif args.command == "trace":
+        from .tracing import export_perfetto, trace_report
+
+        out.append(
+            trace_report(args.run_dir, top=args.top,
+                         percentile=args.percentile).rstrip()
+        )
+        if args.perfetto is not None:
+            try:
+                slices = export_perfetto(args.run_dir, args.perfetto)
+            except FileNotFoundError as exc:
+                parser.error(str(exc))
+            out.append(f"wrote {slices} trace slices to {args.perfetto}")
     elif args.command == "export-azure":
         from .trace.azure import AzureTraceConfig, generate_dataset
         from .trace.azure_io import write_azure_csvs
@@ -319,6 +371,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if r.seam_stats is not None:
                 row["msgs_per_shard"] = r.seam_stats["messages_per_shard"]
                 row["epochs"] = r.seam_stats["epochs"]
+            if r.flight is not None:
+                row["stall_s"] = round(r.flight["stall_s"], 3)
+                row["overlap_pct"] = round(
+                    100.0 * r.flight["overlap_efficiency"], 1
+                )
             if r.fallback_reason is not None:
                 row["fallback"] = "yes"
             table_rows.append(row)

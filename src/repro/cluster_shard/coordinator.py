@@ -33,6 +33,7 @@ import os
 import pickle
 from dataclasses import dataclass
 from functools import partial
+from time import perf_counter
 from typing import Generator, Optional, Sequence
 
 import numpy as np
@@ -50,7 +51,53 @@ from .protocol import (
     sync_indices,
 )
 
-__all__ = ["ShardedOutcome", "run_sharded_replay"]
+__all__ = ["FlightRecorder", "ShardedOutcome", "run_sharded_replay"]
+
+
+class FlightRecorder:
+    """Wall-clock accounting of the coordinator's epoch walk.
+
+    One row per seam chunk: how long the coordinator *stalled* blocked on
+    shard load reports, how long it spent picking and sending, how much
+    coordinator-side work it *overlapped* with shard simulation (slicing
+    the next chunk, accounting spans/traces), and how many payload bytes
+    crossed the seam.  ``finish`` reduces the rows to totals, including
+    ``overlap_efficiency`` — the fraction of coordinator wait-or-work time
+    spent working (1.0 = the prefetch pipeline fully hides the seam, 0.0 =
+    the coordinator is purely stall-bound).  Opt-in wall-clock telemetry:
+    it observes nothing simulated, so recorded runs stay bit-identical.
+    """
+
+    __slots__ = ("epochs", "merge_s", "_t0")
+
+    def __init__(self):
+        self.epochs: list[dict] = []
+        self.merge_s = 0.0
+        self._t0 = perf_counter()
+
+    def epoch(self, **row) -> None:
+        self.epochs.append(row)
+
+    def finish(self) -> dict:
+        rows = self.epochs
+        stall = sum(r["stall_s"] for r in rows)
+        overlap = sum(r["overlap_s"] for r in rows)
+        busy = stall + overlap
+        return {
+            "totals": {
+                "epochs": len(rows),
+                "arrivals": sum(r["arrivals"] for r in rows),
+                "stall_s": stall,
+                "pick_s": sum(r["pick_s"] for r in rows),
+                "send_s": sum(r["send_s"] for r in rows),
+                "overlap_s": overlap,
+                "overlap_efficiency": (overlap / busy) if busy > 0 else 0.0,
+                "payload_bytes": sum(r["payload_bytes"] for r in rows),
+                "merge_s": self.merge_s,
+                "wall_s": perf_counter() - self._t0,
+            },
+            "epochs": rows,
+        }
 
 
 class _Clock:
@@ -73,6 +120,7 @@ class ShardedOutcome:
     telemetry: Optional[object] = None   # MergedTelemetry when opted in
     seam_log: Optional[list] = None      # (k, pick_t, deliver_t) when collected
     seam_stats: Optional[dict] = None    # epoch/message accounting of the run
+    flight_log: Optional[dict] = None    # FlightRecorder.finish() when opted in
 
 
 def _spawn_shards(ctx, specs):
@@ -212,6 +260,7 @@ def run_sharded_replay(
     start_method: Optional[str] = None,
     chunk_size: Optional[int] = None,
     spool_dir=None,
+    flight_recorder: bool = False,
 ) -> ShardedOutcome:
     """Replay an :class:`~repro.loadgen.openloop.InvocationPlan` on a
     sharded cluster; parameters mirror :class:`Cluster` + ``replay_plan``.
@@ -221,7 +270,12 @@ def run_sharded_replay(
     message per shard.  ``spool_dir``, when set with telemetry enabled,
     spools the shards' record/span/breakdown streams to disk as they
     arrive instead of holding them in RAM (the streaming-export path for
-    full-trace replays).
+    full-trace replays).  ``flight_recorder`` turns on wall-clock seam
+    accounting (:class:`FlightRecorder`): per-epoch stall/pick/send/
+    overlap timings and payload bytes, reduced to totals on the returned
+    outcome's ``flight_log`` and exported as ``flight.json`` by the
+    merged telemetry — purely observational, simulated results are
+    unchanged.
 
     Raises :class:`ShardingUnavailable` when shard processes cannot start
     (callers fall back to the single-process path), and ``ValueError``
@@ -328,6 +382,15 @@ def run_sharded_replay(
     emit = spans.emit
     spans_on = spans.enabled
     rpc = float(rpc_latency)
+    trace_on = telemetry_config is not None and getattr(
+        telemetry_config, "trace", False
+    )
+    lb_trace: Optional[list] = None
+    if trace_on:
+        from ..tracing import TraceEvent
+
+        lb_trace = []
+    fr = FlightRecorder() if flight_recorder else None
 
     def _prep(desc):
         """Slice one chunk's columns (the only per-chunk allocations)."""
@@ -343,11 +406,15 @@ def run_sharded_replay(
             raise RuntimeError("chunk walk produced no descriptors")
         while prepared is not None:
             a, b, tlist, fq, recv_k, sync_req = prepared
+            if fr is not None:
+                _t = perf_counter()
             if recv_k is not None:
                 for s, conn in enumerate(conns):
                     msg = _recv(conn, s)
                     assert msg[0] == "loads" and msg[1] == recv_k
                     loads.update(msg[2])
+            if fr is not None:
+                _recv_done = perf_counter()
             m = b - a
             picks = np.empty(m, dtype=np.int32)
             if arrival_clock:
@@ -360,6 +427,9 @@ def run_sharded_replay(
                 for i in range(m):
                     picks[i] = worker_ids[pick(fq[i])]
             placements += m
+            if fr is not None:
+                _pick_done = perf_counter()
+                pbytes = 0
             # Columnar per-shard encode + send (at most one message per
             # shard for any epoch that fits in ``chunk``).
             kcol = np.arange(a, b, dtype=np.int64)
@@ -382,9 +452,14 @@ def run_sharded_replay(
                            picks[:0], sync_req)
                 _send(conn, s, msg)
                 sent[s] += 1
+                if fr is not None:
+                    pbytes += (msg[1].nbytes + msg[2].nbytes
+                               + msg[3].nbytes + msg[4].nbytes)
+            if fr is not None:
+                _send_done = perf_counter()
             # Shards are now simulating this epoch (and computing the
             # next loads): overlap the coordinator-side work — slicing
-            # the next chunk and accounting this one's spans.
+            # the next chunk and accounting this one's spans/traces.
             nxt = _prep(next(descs, None))
             if spans_on:
                 names = worker_names
@@ -393,10 +468,40 @@ def run_sharded_replay(
                     f = fq[i]
                     emit("lb_pick", t, t, f)
                     emit("lb_rpc", t, t + rpc, names[picks[i]])
+            if lb_trace is not None:
+                # The seam's pick-side trace events: same times the serial
+                # Cluster.async_invoke stamps (pick at t, rpc [t, t+rpc]),
+                # trace id = sharded invocation id (arrival index + 1).
+                names = worker_names
+                for i in range(m):
+                    t = tlist[i]
+                    tid = a + i + 1
+                    lb_trace.append(TraceEvent(
+                        trace_id=tid, seq=0, name="lb_pick", kind="lb",
+                        start=t, end=t,
+                    ))
+                    lb_trace.append(TraceEvent(
+                        trace_id=tid, seq=1, name="lb_rpc", kind="lb",
+                        start=t, end=t + rpc, parent="lb_pick",
+                        worker=names[picks[i]],
+                    ))
+            if fr is not None:
+                fr.epoch(
+                    epoch=len(fr.epochs),
+                    sync_k=recv_k,
+                    arrivals=m,
+                    stall_s=_recv_done - _t,
+                    pick_s=_pick_done - _recv_done,
+                    send_s=_send_done - _pick_done,
+                    overlap_s=perf_counter() - _send_done,
+                    payload_bytes=pbytes,
+                )
             prepared = nxt
 
         for s, conn in enumerate(conns):
             _send(conn, s, ("F",))
+        if fr is not None:
+            _m0 = perf_counter()
         summaries_parts: list[list] = [[] for _ in specs]
         seam_parts: list[list] = [[] for _ in specs]
         per_worker: dict[str, int] = {}
@@ -432,6 +537,8 @@ def run_sharded_replay(
                 tele_parts[s].set_meta(payload["telemetry"])
         for p in procs:
             p.join()
+        if fr is not None:
+            fr.merge_s = perf_counter() - _m0
     finally:
         for p in procs:
             if p.is_alive():
@@ -449,6 +556,14 @@ def run_sharded_replay(
     if collect_seam:
         seam_log = _assemble_seam_log(ts_arr, seam_parts)
 
+    seam_stats = {
+        "epochs": len(segments),
+        "sync_points": len(sync_set),
+        "messages_per_shard": max(sent) if sent else 0,
+        "chunk_size": chunk,
+    }
+    flight_log = fr.finish() if fr is not None else None
+
     telemetry = None
     if telemetry_config is not None:
         from .merge import MergedTelemetry
@@ -459,6 +574,10 @@ def run_sharded_replay(
             shard_parts=tele_parts,
             lb_spans=spans.spans(),
             lb_loads=lb_loads,
+            lb_traces=lb_trace,
+            flight=flight_log,
+            seam_stats=seam_stats,
+            shards=num_shards,
         )
 
     return ShardedOutcome(
@@ -468,10 +587,6 @@ def run_sharded_replay(
         per_worker_records=per_worker,
         telemetry=telemetry,
         seam_log=seam_log,
-        seam_stats={
-            "epochs": len(segments),
-            "sync_points": len(sync_set),
-            "messages_per_shard": max(sent) if sent else 0,
-            "chunk_size": chunk,
-        },
+        seam_stats=seam_stats,
+        flight_log=flight_log,
     )

@@ -40,8 +40,9 @@ __all__ = ["MergedTelemetry", "ShardTelemetryParts"]
 _BREAKDOWN_KEY = lambda b: (b.invocation_id is None, b.invocation_id, b.tag)  # noqa: E731
 _RECORD_KEY = lambda r: (r.arrival, r.invocation_id)  # noqa: E731
 _SPAN_KEY = lambda s: (s.start, s.end, s.name)  # noqa: E731
+_TRACE_KEY = lambda e: (e.trace_id, e.seq)  # noqa: E731
 
-_STREAM_KINDS = ("records", "spans", "breakdowns")
+_STREAM_KINDS = ("records", "spans", "breakdowns", "traces")
 
 
 class ShardTelemetryParts:
@@ -128,7 +129,8 @@ class MergedTelemetry:
     ``iter_*`` variants that never materialize the merged sequence.
     """
 
-    def __init__(self, config, worker_names, shard_parts, lb_spans, lb_loads):
+    def __init__(self, config, worker_names, shard_parts, lb_spans, lb_loads,
+                 lb_traces=None, flight=None, seam_stats=None, shards=None):
         self.config = config
         self.worker_names = list(worker_names)
         self._parts: list[ShardTelemetryParts] = list(shard_parts or [])
@@ -139,6 +141,12 @@ class MergedTelemetry:
         # path's stable sort of the full concatenation.
         self._lb_spans = sorted(lb_spans, key=_SPAN_KEY)
         self.lb_loads = lb_loads
+        self._lb_traces = (
+            None if lb_traces is None else sorted(lb_traces, key=_TRACE_KEY)
+        )
+        self.flight = flight
+        self.seam_stats = seam_stats
+        self.shards = len(self._parts) if shards is None else int(shards)
         metas = [p.meta or {} for p in self._parts]
         # (name, counters, gauges, histograms) per worker, cluster order —
         # shards hold contiguous worker ranges, so shard order is worker
@@ -169,6 +177,14 @@ class MergedTelemetry:
             *(p.stream("breakdowns") for p in self._parts), key=_BREAKDOWN_KEY
         )
 
+    def iter_traces(self) -> Iterator:
+        """Shard trace streams + the coordinator's LB events, merged in
+        canonical ``(trace_id, seq)`` order (LB seqs 0/1 lead each tree)."""
+        streams = [p.stream("traces") for p in self._parts]
+        if self._lb_traces is not None:
+            streams.append(iter(self._lb_traces))
+        return heapq.merge(*streams, key=_TRACE_KEY)
+
     # -- views (same shapes as Telemetry's) --------------------------------
     def records(self) -> list:
         return list(self.iter_records())
@@ -178,6 +194,9 @@ class MergedTelemetry:
 
     def breakdowns(self) -> list:
         return list(self.iter_breakdowns())
+
+    def traces(self) -> list:
+        return list(self.iter_traces())
 
     def merged_metrics(self) -> MetricsRegistry:
         """Counters summed, histograms merged, gauges worker-prefixed —
@@ -210,11 +229,17 @@ class MergedTelemetry:
         )
 
     def export(self, run_dir: Union[str, Path]) -> dict[str, Path]:
-        from ..telemetry.runs import write_run_dir
+        from ..telemetry.runs import build_manifest, write_run_dir
 
         series = dict(self.series)
         if self.lb_loads is not None and len(self.lb_loads):
             series["lb"] = self.lb_loads
+        trace_on = getattr(self.config, "trace", False)
+        flight_payload = None
+        if self.flight is not None:
+            flight_payload = dict(self.flight)
+            if self.seam_stats is not None:
+                flight_payload["seam_stats"] = dict(self.seam_stats)
         # summary() first (its own transient passes), then stream the
         # record/span files straight off the merged iterators.
         summary = self.summary()
@@ -225,6 +250,11 @@ class MergedTelemetry:
             records=self.iter_records(),
             registry=self.merged_metrics(),
             summary=summary,
+            traces=self.iter_traces() if trace_on else None,
+            flight=flight_payload,
+            manifest=build_manifest(
+                self.config, self.worker_names, shards=self.shards
+            ),
         )
 
     def cleanup(self) -> None:

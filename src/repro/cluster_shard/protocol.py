@@ -45,9 +45,11 @@ shard → coordinator:
     balancer would read live.
 ``("part", kind, chunk)``
     One bounded chunk of a terminal result stream (``kind`` in
-    ``{"summaries", "seam", "records", "spans", "breakdowns"}``);
-    telemetry kinds arrive pre-sorted by the merge key so the coordinator
-    can k-way merge without re-sorting.
+    ``{"summaries", "seam", "records", "spans", "breakdowns",
+    "traces"}`` — the last only when ``TelemetryConfig(trace=True)``
+    opted the run into causal tracing); telemetry kinds arrive pre-sorted
+    by the merge key so the coordinator can k-way merge without
+    re-sorting.
 ``("result", payload)``
     Terminal message after all parts: per-worker record counts plus the
     small telemetry leftovers (metric registries, gauge series, sample

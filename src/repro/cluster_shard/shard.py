@@ -68,11 +68,19 @@ def _run_shard(conn, spec: ShardSpec) -> None:
     vocab = list(spec.fqdn_vocab)
 
     telemetry = None
+    tracer = None
     if spec.telemetry is not None:
         # Deferred: the pipeline only loads when the run opted in.
         from ..telemetry import Telemetry
 
         telemetry = Telemetry(env, spec.telemetry)
+        tracer = telemetry.tracer
+        if tracer is not None:
+            # The pick-side events come from the coordinator; this shard's
+            # stage chains hang under the seam's forward hop, and every
+            # event it collects carries the shard's index.
+            tracer.root = "lb_rpc"
+            tracer.shard = spec.index
         for w in workers.values():
             telemetry.attach_worker(w)
         telemetry.start()
@@ -158,11 +166,20 @@ def _run_shard(conn, spec: ShardSpec) -> None:
         # Streams go out pre-sorted by the coordinator's merge keys
         # (records and spans already are, by Telemetry's contract).
         _stream_parts(conn, "records", telemetry.records())
-        _stream_parts(conn, "spans", telemetry.spans())
+        spans_out = telemetry.spans()
+        if tracer is not None:
+            # Shard attribution rides the spans only when tracing asked
+            # for it, so untraced sharded exports stay byte-identical to
+            # serial ones.
+            for s in spans_out:
+                s.shard = spec.index
+        _stream_parts(conn, "spans", spans_out)
         _stream_parts(
             conn, "breakdowns",
             sorted(telemetry.breakdowns(), key=_BREAKDOWN_KEY),
         )
+        if tracer is not None:
+            _stream_parts(conn, "traces", telemetry.trace_events())
         payload["telemetry"] = {
             # Per-worker registry parts, in cluster worker order (the
             # merged registry sums counters in this order, matching

@@ -8,9 +8,11 @@ download, or a synthetic one generated in-process), streams the resulting
 invocation plan through the cluster once per requested shard count — the
 serial engine for one shard, the epoch-batched seam for more — and
 records a ``BENCH_azure_scale.json`` scaling curve at the repo root:
-wall-clock invocations/second, peak RSS, and the seam's message
-accounting per row, with the reduced result summary asserted equal across
-every row (the determinism contract, restated as data).
+wall-clock invocations/second, peak RSS, the seam's message accounting,
+and — on sharded rows — the coordinator flight recorder's totals (stall
+vs overlapped wall-clock at the seam, payload bytes, merge time) per row,
+with the reduced result summary asserted equal across every row (the
+determinism contract, restated as data).
 
 Machine provenance follows the repo's benchmark convention: the record
 carries ``cpu_count``, and on machines with fewer cores than the largest
@@ -55,6 +57,7 @@ class AzureScaleRow:
     peak_rss_mb: float             # process+children high-water mark (see note)
     summary: dict                  # reduced outcome, equal across rows
     seam_stats: Optional[dict] = None
+    flight: Optional[dict] = None  # FlightRecorder totals (sharded rows)
     fallback_reason: Optional[str] = None
 
     def as_dict(self) -> dict:
@@ -68,6 +71,11 @@ class AzureScaleRow:
         }
         if self.seam_stats is not None:
             out["seam_stats"] = dict(self.seam_stats)
+        if self.flight is not None:
+            out["flight"] = {
+                k: (round(v, 6) if isinstance(v, float) else v)
+                for k, v in self.flight.items()
+            }
         if self.fallback_reason is not None:
             out["fallback_reason"] = self.fallback_reason
         return out
@@ -139,7 +147,7 @@ def _run_serial(plan, registrations, num_workers, config, lb_policy,
         (bool(i.dropped), i.completed_at is not None, bool(i.cold),
          i.e2e_time, i.overhead)
         for i in invocations
-    ]), None
+    ]), None, None
 
 
 def _run_sharded(plan, registrations, num_workers, config, lb_policy,
@@ -154,10 +162,14 @@ def _run_sharded(plan, registrations, num_workers, config, lb_policy,
         status_interval=status_interval,
         grace=grace,
         chunk_size=chunk_size,
+        flight_recorder=True,
+    )
+    flight = (
+        outcome.flight_log["totals"] if outcome.flight_log is not None else None
     )
     return _reduce([
         (s[1], s[2], s[3], s[4], s[5]) for s in outcome.summaries
-    ]), outcome.seam_stats
+    ]), outcome.seam_stats, flight
 
 
 def run_azure_scale(
@@ -225,22 +237,23 @@ def run_azure_scale(
         engine = "serial" if shards == 1 else "sharded"
         fallback = None
         seam_stats = None
+        flight = None
         t0 = time.perf_counter()
         if shards == 1:
-            summary, seam_stats = _run_serial(
+            summary, seam_stats, flight = _run_serial(
                 plan, registrations, num_workers, config, lb_policy,
                 status_interval, grace,
             )
         else:
             try:
-                summary, seam_stats = _run_sharded(
+                summary, seam_stats, flight = _run_sharded(
                     plan, registrations, num_workers, config, lb_policy,
                     status_interval, grace, shards, chunk_size,
                 )
             except ShardingUnavailable as exc:
                 fallback = str(exc)
                 engine = "serial"
-                summary, seam_stats = _run_serial(
+                summary, seam_stats, flight = _run_serial(
                     plan, registrations, num_workers, config, lb_policy,
                     status_interval, grace,
                 )
@@ -254,6 +267,7 @@ def run_azure_scale(
             peak_rss_mb=_peak_rss_mb(),
             summary=summary,
             seam_stats=seam_stats,
+            flight=flight,
             fallback_reason=fallback,
         ))
 

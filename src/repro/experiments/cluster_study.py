@@ -84,13 +84,14 @@ def _run_study_sharded(
     status_interval: Optional[float],
     shards: int,
     telemetry_dir: Optional[str],
+    trace_on: bool = False,
 ) -> ClusterStudyResult:
     """The sharded engine's outcome, adapted to :class:`ClusterStudyResult`."""
     telemetry_config = None
     if telemetry_dir is not None:
         from ..telemetry import TelemetryConfig
 
-        telemetry_config = TelemetryConfig()
+        telemetry_config = TelemetryConfig(trace=trace_on)
     registrations = [
         FunctionRegistration(
             name=f.name,
@@ -118,6 +119,7 @@ def _run_study_sharded(
             grace=300.0,
             telemetry_config=telemetry_config,
             spool_dir=spool.name if spool is not None else None,
+            flight_recorder=trace_on,
         )
         if outcome.telemetry is not None:
             outcome.telemetry.export(telemetry_dir)
@@ -157,6 +159,7 @@ def run_cluster_study(
     cache: CacheLike = None,
     telemetry_dir: Optional[str] = None,
     shards: Optional[int] = None,
+    trace_invocations: bool = False,
 ) -> ClusterStudyResult:
     """Replay (a clip of) the representative trace on a cluster.
 
@@ -171,6 +174,10 @@ def run_cluster_study(
     replay across that many shard processes via ``repro.cluster_shard``;
     the records are bit-identical, only the wall clock changes.  Falls
     back to the single-process path when shard processes cannot start.
+    ``trace_invocations`` (requires ``telemetry_dir``) additionally
+    collects causal trace trees (``repro.tracing``) into the run
+    directory's ``traces.jsonl`` and, on sharded runs, the coordinator's
+    flight-recorder log into ``flight.json``.
     """
     if not 0 < target_load_fraction:
         raise ValueError("target_load_fraction must be positive")
@@ -196,6 +203,7 @@ def run_cluster_study(
             return _run_study_sharded(
                 trace, plan, num_workers, config, lb_policy,
                 status_interval, shards, telemetry_dir,
+                trace_on=trace_invocations,
             )
         except ShardingUnavailable as exc:
             warnings.warn(
@@ -216,9 +224,9 @@ def run_cluster_study(
     telemetry = None
     if telemetry_dir is not None:
         # Deferred import: the pipeline only loads when somebody opts in.
-        from ..telemetry import Telemetry
+        from ..telemetry import Telemetry, TelemetryConfig
 
-        telemetry = Telemetry(env)
+        telemetry = Telemetry(env, TelemetryConfig(trace=trace_invocations))
         cluster.attach_telemetry(telemetry)
         telemetry.start()
     cluster.start()

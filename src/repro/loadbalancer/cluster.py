@@ -68,6 +68,9 @@ class Cluster:
         self.spans = SpanRecorder(
             clock=partial(getattr, env, "now"), enabled=base.tracing_enabled
         )
+        # Causal-trace collector; set by Telemetry.attach_cluster when
+        # TelemetryConfig(trace=True) opts a run in, None otherwise.
+        self.tracer = None
 
     @staticmethod
     def worker_configs(base: WorkerConfig, num_workers: int) -> list[WorkerConfig]:
@@ -105,13 +108,21 @@ class Cluster:
         if fqdn not in self.registrations:
             raise FunctionNotRegistered(fqdn)
         spans = self.spans
+        tracer = self.tracer
+        pick_t = self.env.now if tracer is not None else 0.0
         handle = spans.begin("lb_pick", tag=fqdn)
         target = self.balancer.pick(fqdn)
         spans.end(handle)
         self.placements += 1
         worker = self.workers[target]
         if self.rpc_latency <= 0:
-            return worker.async_invoke(fqdn, args)
+            inner = worker.async_invoke(fqdn, args)
+            if tracer is not None:
+                # The trace id is the invocation id, known at completion.
+                inner.callbacks.append(
+                    lambda ev: tracer.record_lb(ev.value.id, pick_t, pick_t)
+                )
+            return inner
         # Model the LB->worker RPC hop without blocking the caller.
         done = self.env.event()
 
@@ -119,8 +130,12 @@ class Cluster:
             rpc = spans.begin("lb_rpc", tag=target)
             yield self.env.timeout(self.rpc_latency)
             spans.end(rpc)
+            rpc_end = self.env.now
             inner = worker.async_invoke(fqdn, args)
             inv = yield inner
+            if tracer is not None:
+                tracer.record_lb(inv.id, pick_t, pick_t,
+                                 pick_t, rpc_end, target)
             done.succeed(inv)
 
         self.env.process(forward(), name=f"lb-forward-{fqdn}")

@@ -58,12 +58,19 @@ SPAN_GROUPS: dict[str, str] = {
 
 @dataclass
 class Span:
-    """One completed span: a named interval with optional invocation tag."""
+    """One completed span: a named interval with optional invocation tag.
+
+    ``shard`` is the owning shard index on sharded runs (stamped by the
+    shard process when tracing is enabled, so merged run directories can
+    be sliced per shard); ``None`` — and absent from the JSONL form — on
+    single-process runs, keeping serial and sharded exports byte-equal.
+    """
 
     name: str
     start: float
     end: float
     tag: Optional[str] = None
+    shard: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -270,8 +277,11 @@ def dump_spans_jsonl(spans: Iterable[Span], path: Union[str, Path]) -> int:
     count = 0
     with open(path, "w") as fh:
         for s in spans:
-            fh.write(dumps({"name": s.name, "start": s.start, "end": s.end,
-                            "tag": s.tag}))
+            row = {"name": s.name, "start": s.start, "end": s.end,
+                   "tag": s.tag}
+            if s.shard is not None:
+                row["shard"] = s.shard
+            fh.write(dumps(row))
             fh.write("\n")
             count += 1
     return count
@@ -287,5 +297,6 @@ def load_spans_jsonl(path: Union[str, Path]) -> list[Span]:
                 continue
             data = json.loads(line)
             spans.append(Span(name=data["name"], start=data["start"],
-                              end=data["end"], tag=data.get("tag")))
+                              end=data["end"], tag=data.get("tag"),
+                              shard=data.get("shard")))
     return spans

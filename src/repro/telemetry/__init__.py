@@ -40,6 +40,7 @@ from .exporters import (
 from .runs import (
     RUN_FILES,
     Telemetry,
+    build_manifest,
     build_summary,
     inspect_report,
     load_run,
@@ -69,6 +70,7 @@ __all__ = [
     "write_prometheus",
     "RUN_FILES",
     "Telemetry",
+    "build_manifest",
     "build_summary",
     "inspect_report",
     "load_run",

@@ -26,7 +26,9 @@ a build without this package.
 from __future__ import annotations
 
 import copy
+import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Optional, Union
 
@@ -46,18 +48,26 @@ __all__ = [
     "RUN_FILES",
     "write_run_dir",
     "build_summary",
+    "build_manifest",
     "load_run",
     "inspect_report",
 ]
 
-# Canonical run-directory layout (name → filename).
+# Canonical run-directory layout (name → filename).  The first five are
+# always written; the rest only when the run produced them ("traces" when
+# tracing was enabled, "flight" when the sharded coordinator recorded its
+# flight log, "manifest" whenever the writer supplies provenance).
 RUN_FILES = {
     "timeseries": "timeseries.jsonl",
     "spans": "spans.jsonl",
     "records": "records.jsonl",
     "metrics": "metrics.prom",
     "summary": "summary.json",
+    "traces": "traces.jsonl",
+    "flight": "flight.json",
+    "manifest": "manifest.json",
 }
+_CORE_FILES = ("timeseries", "spans", "records", "metrics", "summary")
 
 
 def write_run_dir(
@@ -68,19 +78,25 @@ def write_run_dir(
     records,
     registry: MetricsRegistry,
     summary: dict,
+    traces=None,
+    flight: Optional[dict] = None,
+    manifest: Optional[dict] = None,
 ) -> dict[str, Path]:
     """Write the canonical run-directory layout from already-merged parts.
 
     :class:`Telemetry` feeds this from one live pipeline; the cluster-shard
     merge feeds it from per-shard payloads.  Either way the directory is
-    identical and ``repro inspect`` reads it back the same.  ``spans`` and
-    ``records`` may be any single-pass iterables (each is walked exactly
-    once, straight onto disk) — the cluster-shard merge hands over lazy
-    k-way-merged streams.
+    identical and ``repro inspect`` reads it back the same.  ``spans``,
+    ``records``, and ``traces`` may be any single-pass iterables (each is
+    walked exactly once, straight onto disk) — the cluster-shard merge
+    hands over lazy k-way-merged streams.  The optional artifacts are
+    written (and included in the returned paths) only when supplied, so a
+    tracing-off export stays byte-identical to earlier layouts apart from
+    the provenance manifest.
     """
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
-    paths = {k: run_dir / v for k, v in RUN_FILES.items()}
+    paths = {k: run_dir / RUN_FILES[k] for k in _CORE_FILES}
 
     dump_timeseries_jsonl(series, paths["timeseries"])
     dump_spans_jsonl(spans, paths["spans"])
@@ -106,6 +122,22 @@ def write_run_dir(
     with open(paths["summary"], "w") as fh:
         json.dump(summary, fh, indent=2)
         fh.write("\n")
+
+    if traces is not None:
+        from ..tracing.events import dump_trace_jsonl
+
+        paths["traces"] = run_dir / RUN_FILES["traces"]
+        dump_trace_jsonl(traces, paths["traces"])
+    if flight is not None:
+        paths["flight"] = run_dir / RUN_FILES["flight"]
+        with open(paths["flight"], "w") as fh:
+            json.dump(flight, fh, indent=2)
+            fh.write("\n")
+    if manifest is not None:
+        paths["manifest"] = run_dir / RUN_FILES["manifest"]
+        with open(paths["manifest"], "w") as fh:
+            json.dump(manifest, fh, indent=2)
+            fh.write("\n")
     return paths
 
 
@@ -146,6 +178,40 @@ def build_summary(
     }
 
 
+def build_manifest(
+    config: TelemetryConfig,
+    worker_names: list,
+    shards: int = 1,
+) -> dict:
+    """The ``manifest.json`` provenance record for a run directory.
+
+    Deliberately free of wall-clock timestamps: two runs of the same
+    configuration produce the same manifest (``shards`` aside), so the
+    serial-vs-sharded byte-identity gates only have to exclude this one
+    file — and can still assert ``config_hash`` equality across it.
+    """
+    cfg = {
+        "interval": config.interval,
+        "sample_energy": config.sample_energy,
+        "keep_spans": config.keep_spans,
+        "histograms": config.histograms,
+        "trace": getattr(config, "trace", False),
+    }
+    payload = json.dumps({"config": cfg, "workers": list(worker_names)},
+                         sort_keys=True)
+    from .. import __version__
+
+    return {
+        "schema": 1,
+        "version": __version__,
+        "config_hash": hashlib.sha256(payload.encode()).hexdigest()[:16],
+        "config": cfg,
+        "workers": list(worker_names),
+        "shards": int(shards),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
 class Telemetry:
     """One run's telemetry: sampler + span retention + latency histograms.
 
@@ -165,6 +231,12 @@ class Telemetry:
         )
         self._workers: list = []
         self._extra_recorders: list = []  # LB span recorders, merged on export
+        self.tracer = None
+        if self.config.trace:
+            # Deferred: the tracing package only loads when a run opts in.
+            from ..tracing import TraceCollector
+
+            self.tracer = TraceCollector()
 
     # -- wiring ------------------------------------------------------------
     def attach_worker(self, worker) -> None:
@@ -179,6 +251,8 @@ class Telemetry:
                 lifecycle.keep_contexts = True
         if self.config.histograms:
             worker.metrics.enable_latency_histograms()
+        if self.tracer is not None:
+            self.tracer.attach_worker(worker)
         self._workers.append(worker)
 
     def attach_cluster(self, cluster) -> None:
@@ -187,6 +261,13 @@ class Telemetry:
         if self.config.keep_spans:
             cluster.spans.keep_spans = True
             self._extra_recorders.append(cluster.spans)
+        if self.tracer is not None:
+            # The cluster reports its pick/rpc spans into the collector;
+            # worker stage chains hang under whichever LB span is last.
+            cluster.tracer = self.tracer
+            self.tracer.root = (
+                "lb_rpc" if cluster.rpc_latency > 0 else "lb_pick"
+            )
         # Record the load values the balancer actually acted on.
         cluster.status_board.publish = self.sampler.record_lb_load
 
@@ -238,6 +319,13 @@ class Telemetry:
         """The span-tag reconstruction of :meth:`breakdowns` (cross-check)."""
         return decompose(self.spans())
 
+    def trace_events(self) -> list:
+        """Collected causal trace events in ``(trace_id, seq)`` order;
+        empty unless ``config.trace`` enabled the collector."""
+        if self.tracer is None:
+            return []
+        return self.tracer.trace_events()
+
     def merged_metrics(self) -> MetricsRegistry:
         """Counters summed, histograms merged, gauges worker-prefixed."""
         merged = MetricsRegistry()
@@ -270,6 +358,10 @@ class Telemetry:
             records=self.records(),
             registry=self.merged_metrics(),
             summary=self.summary(),
+            traces=self.trace_events() if self.tracer is not None else None,
+            manifest=build_manifest(
+                self.config, [w.name for w in self._workers]
+            ),
         )
 
     def summary(self) -> dict:
@@ -287,9 +379,9 @@ class Telemetry:
 def load_run(run_dir: Union[str, Path]) -> dict:
     """Read a telemetry run directory back into memory.
 
-    Returns ``{"summary", "records", "spans", "timeseries", "metrics_text"}``
-    with missing files mapped to empty values, so partially exported
-    directories still inspect cleanly.
+    Returns ``{"summary", "records", "spans", "timeseries", "metrics_text",
+    "manifest", "flight", "traces"}`` with missing files mapped to empty
+    values, so partially exported directories still inspect cleanly.
     """
     run_dir = Path(run_dir)
     out: dict = {
@@ -298,6 +390,9 @@ def load_run(run_dir: Union[str, Path]) -> dict:
         "spans": [],
         "timeseries": [],
         "metrics_text": "",
+        "manifest": {},
+        "flight": {},
+        "traces": [],
     }
     summary_path = run_dir / RUN_FILES["summary"]
     if summary_path.exists():
@@ -316,6 +411,17 @@ def load_run(run_dir: Union[str, Path]) -> dict:
     prom_path = run_dir / RUN_FILES["metrics"]
     if prom_path.exists():
         out["metrics_text"] = prom_path.read_text()
+    manifest_path = run_dir / RUN_FILES["manifest"]
+    if manifest_path.exists():
+        out["manifest"] = json.loads(manifest_path.read_text())
+    flight_path = run_dir / RUN_FILES["flight"]
+    if flight_path.exists():
+        out["flight"] = json.loads(flight_path.read_text())
+    traces_path = run_dir / RUN_FILES["traces"]
+    if traces_path.exists():
+        from ..tracing.events import load_trace_jsonl
+
+        out["traces"] = load_trace_jsonl(traces_path)
     return out
 
 
@@ -343,6 +449,16 @@ def inspect_report(run_dir: Union[str, Path]) -> str:
     data = load_run(run_dir)
     summary = data["summary"]
     lines: list[str] = [f"telemetry run: {run_dir}", ""]
+
+    manifest = data["manifest"]
+    if manifest:
+        lines.append(
+            f"manifest: version={manifest.get('version')}  "
+            f"config_hash={manifest.get('config_hash')}  "
+            f"shards={manifest.get('shards')}  "
+            f"cpu_count={manifest.get('cpu_count')}"
+        )
+        lines.append("")
 
     if summary:
         cfg = summary.get("config", {})
@@ -383,6 +499,40 @@ def inspect_report(run_dir: Union[str, Path]) -> str:
             ("phase", "phase"), ("mean", "mean_ms"),
             ("p99", "p99_ms"), ("share_pct", "share_%"),
         ]))
+        lines.append("")
+
+    flight = data["flight"]
+    if flight:
+        seam = flight.get("seam_stats") or {}
+        totals = flight.get("totals") or {}
+        if seam:
+            lines.append(
+                "sharded seam: "
+                f"epochs={seam.get('epochs')}  "
+                f"sync_points={seam.get('sync_points')}  "
+                f"messages_per_shard={seam.get('messages_per_shard')}  "
+                f"chunk_size={seam.get('chunk_size')}"
+            )
+        if totals:
+            eff = totals.get("overlap_efficiency", 0.0)
+            lines.append(
+                "flight recorder: "
+                f"stall={totals.get('stall_s', 0.0):.3f}s  "
+                f"overlap={totals.get('overlap_s', 0.0):.3f}s "
+                f"(efficiency {100.0 * eff:.1f}%)  "
+                f"payload={totals.get('payload_bytes', 0) / 1e6:.2f}MB  "
+                f"merge={totals.get('merge_s', 0.0):.3f}s  "
+                f"wall={totals.get('wall_s', 0.0):.3f}s"
+            )
+        lines.append("")
+
+    traces = data["traces"]
+    if traces:
+        ids = {e.trace_id for e in traces}
+        lines.append(
+            f"causal traces: {len(traces)} events over {len(ids)} "
+            f"invocations (render with `repro trace {run_dir}`)"
+        )
         lines.append("")
 
     ts = data["timeseries"]

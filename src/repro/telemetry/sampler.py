@@ -52,6 +52,7 @@ class TelemetryConfig:
     sample_energy: bool = False    # add power/energy columns (default-off)
     keep_spans: bool = True        # retain spans for the decomposition
     histograms: bool = True        # e2e/queue/overhead latency histograms
+    trace: bool = False            # collect causal trace trees (repro.tracing)
 
     def __post_init__(self):
         if self.interval <= 0:

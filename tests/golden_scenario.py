@@ -97,8 +97,16 @@ def reduce_run(records, spans, breakdowns) -> dict:
     }
 
 
-def run_scenario() -> dict:
-    """Replay the fixed workload; return the JSON-stable reduction."""
+def run_scenario(telemetry_config: TelemetryConfig = None,
+                 return_telemetry: bool = False):
+    """Replay the fixed workload; return the JSON-stable reduction.
+
+    ``telemetry_config`` overrides the default pipeline config (tests use
+    it to opt the same fixed workload into causal tracing);
+    ``return_telemetry`` additionally returns the live :class:`Telemetry`
+    object as ``(reduction, telemetry)`` so callers can read views the
+    reduction drops (trace events, contexts).
+    """
     env = Environment()
     cluster = Cluster(
         env,
@@ -106,7 +114,10 @@ def run_scenario() -> dict:
         config=WorkerConfig(cores=2, memory_mb=4096, seed=13, backend="containerd"),
         status_interval=2.0,
     )
-    telemetry = Telemetry(env, TelemetryConfig(interval=1.0, sample_energy=True))
+    telemetry = Telemetry(
+        env,
+        telemetry_config or TelemetryConfig(interval=1.0, sample_energy=True),
+    )
     cluster.attach_telemetry(telemetry)
     telemetry.start()
     cluster.start()
@@ -123,9 +134,12 @@ def run_scenario() -> dict:
     cluster.stop()
     telemetry.stop()
 
-    return reduce_run(
+    reduction = reduce_run(
         telemetry.records(), telemetry.spans(), telemetry.breakdowns()
     )
+    if return_telemetry:
+        return reduction, telemetry
+    return reduction
 
 
 def normalized(data: dict) -> dict:

@@ -55,6 +55,7 @@ LAYERS = {
     # 4: harness / observability / entry points
     "experiments": 4,
     "telemetry": 4,
+    "tracing": 4,
     "cluster_shard": 4,
     "cli": 4,
     "profile": 4,

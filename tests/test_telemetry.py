@@ -330,7 +330,7 @@ def test_export_load_run_and_inspect(tmp_path):
     run_dir = tmp_path / "run"
     paths = telemetry.export(run_dir)
     assert sorted(p.name for p in paths.values()) == [
-        "metrics.prom", "records.jsonl", "spans.jsonl",
+        "manifest.json", "metrics.prom", "records.jsonl", "spans.jsonl",
         "summary.json", "timeseries.jsonl",
     ]
     data = load_run(run_dir)

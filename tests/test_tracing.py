@@ -1,0 +1,372 @@
+"""Causal tracing: trace trees, critical paths, flight recorder, exports.
+
+The contract under test, in the order the PR's acceptance gates state it:
+
+* **Zero overhead when off** — with ``TelemetryConfig(trace=False)`` the
+  golden reduction, the exported file set, and the span JSONL bytes are
+  exactly what they were before tracing existed (manifest.json aside,
+  which is always written and deliberately timestamp-free).
+* **Rooted trees when on** — every invocation in the golden scenario
+  yields one trace tree whose spine is an unbroken parent chain from the
+  LB root to its terminal stage, serial and sharded alike.
+* **Float-exact attribution** — the critical-path analyzer's per-phase
+  sums equal ``Telemetry.breakdowns()`` (the ``decompose_contexts``
+  pipeline) with exact float equality, at 1 and 4 shards.
+* **Seam-transparent** — the sharded engine's merged trace stream
+  reduces to the serial one (ids normalized, shard attribution dropped).
+* **Flight recorder + manifest + Perfetto** — the coordinator's
+  wall-clock log, the provenance manifest, and the Chrome trace-event
+  export all round-trip through the run directory.
+"""
+
+import json
+
+import pytest
+
+from tests.golden_scenario import GOLDEN_PATH, normalized, reduce_run, run_scenario
+from tests.test_cluster_shard import sharded_golden
+from repro.core.lifecycle import COMPLETE
+from repro.telemetry import PHASES, TelemetryConfig, inspect_report, load_run
+from repro.tracing import (
+    COMPONENT_STAGE,
+    TraceEvent,
+    build_traces,
+    chrome_trace,
+    critical_path,
+    dump_trace_jsonl,
+    export_perfetto,
+    load_trace_jsonl,
+    render_critical_path,
+    trace_report,
+    verify_against_breakdowns,
+)
+
+TRACED = TelemetryConfig(interval=1.0, sample_energy=True, trace=True)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One serial traced run of the golden scenario: (reduction, telemetry)."""
+    return run_scenario(TRACED, return_telemetry=True)
+
+
+@pytest.fixture(scope="module")
+def sharded_traced():
+    """One 2-shard traced run with the flight recorder on."""
+    return sharded_golden(2, telemetry_config=TRACED, flight_recorder=True)
+
+
+def _paths(telemetry):
+    return [critical_path(t) for t in build_traces(telemetry.trace_events()
+            if hasattr(telemetry, "trace_events") else telemetry.traces())]
+
+
+# ------------------------------------------------------- zero perturbation
+def test_tracing_on_preserves_golden_reduction(traced, golden):
+    reduction, _ = traced
+    assert normalized(reduction) == golden
+
+
+def test_tracing_off_is_the_untraced_pipeline(golden):
+    assert normalized(run_scenario()) == golden
+
+
+# ------------------------------------------------------------ trace trees
+def test_every_invocation_yields_a_rooted_tree(traced):
+    _, telemetry = traced
+    trees = build_traces(telemetry.trace_events())
+    assert len(trees) == len(telemetry.records())
+    assert all(t.rooted() for t in trees)
+    # The spine roots at the LB pick and runs pick -> rpc -> admit -> ...
+    for t in trees:
+        chain = t.chain()
+        assert chain[0].name == "lb_pick" and chain[0].parent is None
+        assert chain[1].name == "lb_rpc" and chain[1].parent == "lb_pick"
+        assert chain[2].parent == "lb_rpc"
+
+
+def test_completed_traces_terminate_in_complete(traced):
+    _, telemetry = traced
+    paths = _paths(telemetry)
+    completed = [p for p in paths if p.breakdown is not None]
+    assert completed and all(p.terminal == COMPLETE for p in completed)
+    # The scenario's delta function always times out; those trees exist
+    # too, just without an exec interval to decompose.
+    assert any(p.terminal == "timeout" for p in paths)
+
+
+def test_component_events_parent_on_their_stage(traced):
+    _, telemetry = traced
+    for e in telemetry.trace_events():
+        if e.kind == "component":
+            assert e.parent == COMPONENT_STAGE[e.name]
+
+
+# -------------------------------------------------- critical-path analysis
+@pytest.mark.parametrize("shards", [None, 1, 4])
+def test_critical_path_matches_decomposition_exactly(shards, traced):
+    """The acceptance gate: trace-derived phase sums == decompose_contexts
+    to float precision, serial and at 1 and 4 shards."""
+    if shards is None:
+        _, telemetry = traced
+    else:
+        telemetry = sharded_golden(shards, telemetry_config=TRACED).telemetry
+    paths = _paths(telemetry)
+    breakdowns = telemetry.breakdowns()
+    matched, compared = verify_against_breakdowns(paths, breakdowns)
+    assert compared == len(breakdowns) > 0
+    assert matched == compared
+
+
+def test_critical_path_covers_e2e_and_finds_queue_wait(traced):
+    _, telemetry = traced
+    paths = _paths(telemetry)
+    # Segments tile the path: first starts at path.start, last ends at end.
+    for p in paths:
+        assert p.segments[0].start == p.start
+        assert max(s.end for s in p.segments) == p.end
+        assert p.seam > 0.0          # the golden cluster models the RPC hop
+        assert p.worker is not None
+    # The burst arrivals must show synthesized queue-wait gaps somewhere.
+    assert any(
+        seg.kind == "wait" for p in paths for seg in p.segments
+    )
+
+
+def test_render_critical_path_lines(traced):
+    _, telemetry = traced
+    p = _paths(telemetry)[0]
+    lines = render_critical_path(p, label="alpha--0-1 (success)")
+    assert lines[0].startswith(f"trace {p.trace_id}")
+    assert "e2e" in lines[0] and "(UNROOTED)" not in lines[0]
+    assert len(lines) == 1 + len(p.segments)
+
+
+# --------------------------------------------------------- seam equality
+def test_sharded_traces_reduce_to_serial(traced, sharded_traced):
+    """Bit-identical causal traces across the shard seam: same events,
+    same times, same parents — ids normalized, shard attribution aside."""
+    _, serial_tel = traced
+    sharded_tel = sharded_traced.telemetry
+
+    def reduce_events(events, records):
+        base = min(r.invocation_id for r in records if r.invocation_id)
+        return [
+            (e.trace_id - base, e.seq, e.name, e.kind, e.start, e.end,
+             e.parent, e.worker)
+            for e in events
+        ]
+
+    serial = reduce_events(serial_tel.trace_events(), serial_tel.records())
+    sharded = reduce_events(sharded_tel.traces(), sharded_tel.records())
+    assert serial == sharded
+
+
+def test_sharded_events_carry_owning_shard(sharded_traced):
+    events = sharded_traced.telemetry.traces()
+    worker_shards = {e.shard for e in events if e.kind != "lb"}
+    assert worker_shards == {0, 1}
+    # LB events live in the coordinator, not in any shard.
+    assert all(e.shard is None for e in events if e.kind == "lb")
+    # Shard attribution agrees with the partition (worker 0 | workers 1,2).
+    for e in events:
+        if e.worker is not None and e.kind != "lb":
+            idx = int(e.worker.rsplit("-", 1)[1])
+            assert e.shard == (0 if idx < 1 else 1)
+
+
+def test_span_shard_tagging_follows_the_trace_switch(sharded_traced, golden):
+    # Traced sharded runs tag worker spans with the owning shard...
+    spans = sharded_traced.telemetry.spans()
+    worker_spans = [s for s in spans if not s.name.startswith("lb_")]
+    assert worker_spans and {s.shard for s in worker_spans} == {0, 1}
+    assert all(s.shard is None for s in spans if s.name.startswith("lb_"))
+    # ...untraced ones keep every span untagged (byte-identity with serial).
+    untraced = sharded_golden(2, telemetry_config=TelemetryConfig(
+        interval=1.0, sample_energy=True)).telemetry
+    assert all(s.shard is None for s in untraced.spans())
+
+
+# --------------------------------------------------------- flight recorder
+def test_flight_recorder_totals(sharded_traced):
+    log = sharded_traced.flight_log
+    assert log is not None
+    totals = log["totals"]
+    assert totals["epochs"] == len(log["epochs"]) > 0
+    assert totals["arrivals"] == 42
+    assert totals["stall_s"] >= 0.0 and totals["overlap_s"] >= 0.0
+    assert totals["payload_bytes"] > 0
+    assert 0.0 <= totals["overlap_efficiency"] <= 1.0
+    assert totals["wall_s"] > 0.0
+    for row in log["epochs"]:
+        assert set(row) == {"epoch", "sync_k", "arrivals", "stall_s",
+                            "pick_s", "send_s", "overlap_s", "payload_bytes"}
+
+
+def test_flight_recorder_off_by_default():
+    outcome = sharded_golden(2)
+    assert outcome.flight_log is None
+
+
+# ------------------------------------------------------------ run-dir I/O
+def test_traced_export_round_trips(tmp_path, traced):
+    _, telemetry = traced
+    run_dir = tmp_path / "run"
+    paths = telemetry.export(run_dir)
+    assert paths["traces"].name == "traces.jsonl"
+    events = load_trace_jsonl(paths["traces"])
+    assert events == telemetry.trace_events()
+    data = load_run(run_dir)
+    assert data["traces"] == events
+    assert data["manifest"]["config"]["trace"] is True
+
+
+def test_untraced_export_layout_is_unchanged(tmp_path):
+    _, telemetry = run_scenario(return_telemetry=True)
+    run_dir = tmp_path / "run"
+    paths = telemetry.export(run_dir)
+    assert "traces" not in paths and "flight" not in paths
+    assert sorted(p.name for p in run_dir.iterdir()) == [
+        "manifest.json", "metrics.prom", "records.jsonl", "spans.jsonl",
+        "summary.json", "timeseries.jsonl",
+    ]
+    # Span rows keep their pre-tracing schema: no shard key ever appears.
+    first = json.loads((run_dir / "spans.jsonl").read_text().splitlines()[0])
+    assert set(first) == {"name", "start", "end", "tag"}
+
+
+def test_sharded_export_includes_flight_and_manifest(tmp_path, sharded_traced):
+    run_dir = tmp_path / "run"
+    sharded_traced.telemetry.export(run_dir)
+    data = load_run(run_dir)
+    assert data["flight"]["totals"]["epochs"] > 0
+    assert data["flight"]["seam_stats"] == sharded_traced.seam_stats
+    assert data["manifest"]["shards"] == 2
+    assert len(data["traces"]) > 0
+
+
+def test_manifest_hash_is_engine_invariant(tmp_path, traced, sharded_traced):
+    serial_dir, sharded_dir = tmp_path / "serial", tmp_path / "sharded"
+    traced[1].export(serial_dir)
+    sharded_traced.telemetry.export(sharded_dir)
+    a = json.loads((serial_dir / "manifest.json").read_text())
+    b = json.loads((sharded_dir / "manifest.json").read_text())
+    assert a["config_hash"] == b["config_hash"]
+    assert a["workers"] == b["workers"]
+    assert (a["shards"], b["shards"]) == (1, 2)
+    assert a["version"] and a["config"]["trace"] is True
+
+
+def test_trace_jsonl_omits_none_fields(tmp_path):
+    path = tmp_path / "traces.jsonl"
+    count = dump_trace_jsonl([
+        TraceEvent(trace_id=7, seq=0, name="lb_pick", kind="lb",
+                   start=0.5, end=0.5),
+        TraceEvent(trace_id=7, seq=2, name="admit", kind="stage",
+                   start=0.5, end=0.6, parent="lb_rpc", worker="w-0",
+                   shard=3),
+    ], path)
+    assert count == 2
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert set(rows[0]) == {"trace_id", "seq", "name", "kind", "start", "end"}
+    assert rows[1]["parent"] == "lb_rpc" and rows[1]["shard"] == 3
+    assert load_trace_jsonl(path)[1].worker == "w-0"
+
+
+# ---------------------------------------------------------------- perfetto
+def test_chrome_trace_schema(traced):
+    _, telemetry = traced
+    events = telemetry.trace_events()
+    doc = chrome_trace(events)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    rows = doc["traceEvents"]
+    meta = [r for r in rows if r["ph"] == "M"]
+    slices = [r for r in rows if r["ph"] == "X"]
+    assert len(meta) == 1 + 3          # LB + three workers
+    assert {m["args"]["name"] for m in meta} == {
+        "load-balancer", "worker-0-0", "worker-0-1", "worker-0-2",
+    }
+    assert len(slices) == len(events)
+    for r in slices:
+        assert set(r) == {"ph", "name", "cat", "pid", "tid", "ts", "dur",
+                          "args"}
+        assert r["dur"] >= 0.0 and r["cat"] in ("lb", "stage", "component")
+    # LB slices sit on pid 0; worker slices on their worker's pid.
+    assert {r["pid"] for r in slices if r["cat"] == "lb"} == {0}
+    assert {r["pid"] for r in slices if r["cat"] != "lb"} == {1, 2, 3}
+
+
+def test_export_perfetto_round_trip(tmp_path, traced):
+    _, telemetry = traced
+    run_dir = tmp_path / "run"
+    telemetry.export(run_dir)
+    out = tmp_path / "trace.json"
+    slices = export_perfetto(run_dir, out)
+    assert slices == len(telemetry.trace_events())
+    doc = json.loads(out.read_text())     # parses as strict JSON
+    assert len([r for r in doc["traceEvents"] if r["ph"] == "X"]) == slices
+
+
+def test_export_perfetto_requires_traces(tmp_path):
+    with pytest.raises(FileNotFoundError, match="--trace"):
+        export_perfetto(tmp_path, tmp_path / "out.json")
+
+
+# ------------------------------------------------------------- the report
+def test_trace_report_renders(tmp_path, traced):
+    _, telemetry = traced
+    run_dir = tmp_path / "run"
+    telemetry.export(run_dir)
+    text = trace_report(run_dir, top=3, percentile=50.0)
+    assert "42 traces (38 completed, 42/42 rooted)" in text
+    assert "critical-path attribution" in text
+    for phase in (*PHASES, "lb_seam", "(exec)"):
+        assert phase in text
+    assert "top 3 slowest invocations:" in text
+    assert "p50 drill-down" in text
+    # Labels join through the records: function names appear in the paths.
+    assert "beta.1 (cold)" in text and "(timeout)" in text
+
+
+def test_trace_report_without_traces_is_graceful(tmp_path):
+    text = trace_report(tmp_path)
+    assert "not traced" in text and "--trace" in text
+
+
+def test_inspect_report_surfaces_tracing_artifacts(tmp_path, sharded_traced):
+    run_dir = tmp_path / "run"
+    sharded_traced.telemetry.export(run_dir)
+    text = inspect_report(run_dir)
+    assert "manifest: version=" in text and "shards=2" in text
+    assert "sharded seam: epochs=" in text
+    assert "flight recorder: stall=" in text
+    assert "causal traces:" in text and "repro trace" in text
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_trace_command(tmp_path, traced, capsys):
+    from repro.cli import main
+
+    _, telemetry = traced
+    run_dir = tmp_path / "run"
+    telemetry.export(run_dir)
+    out_json = tmp_path / "perfetto.json"
+    assert main(["trace", str(run_dir), "--top", "2",
+                 "--perfetto", str(out_json)]) == 0
+    captured = capsys.readouterr().out
+    assert "top 2 slowest invocations:" in captured
+    assert "trace slices" in captured
+    json.loads(out_json.read_text())
+
+
+def test_cli_trace_flag_requires_telemetry(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["cluster-study", "--trace"])
+    assert "--trace requires --telemetry" in capsys.readouterr().err
