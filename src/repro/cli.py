@@ -10,7 +10,10 @@ Examples::
     python -m repro ablation --which queue
     python -m repro export-azure --out /tmp/azure-day --functions 1000
     python -m repro --scale small --telemetry /tmp/run cluster-study --trace
+    python -m repro --scale small --telemetry /tmp/run cluster-study --health
     python -m repro inspect /tmp/run
+    python -m repro health /tmp/run
+    python -m repro watch /tmp/run --once
     python -m repro trace /tmp/run --top 5 --perfetto /tmp/run/trace.json
 
 Every command prints the paper-style table to stdout; ``--scale`` selects
@@ -143,10 +146,38 @@ def build_parser() -> argparse.ArgumentParser:
              "flight log in flight.json); requires --telemetry; render "
              "them afterwards with `repro trace RUN_DIR`",
     )
+    cluster.add_argument(
+        "--health",
+        action="store_true",
+        help="grade the run through the streaming health/SLO engine "
+             "(health.json, slo.jsonl, health.prom, live.jsonl in the run "
+             "directory); requires --telemetry; read back with "
+             "`repro health RUN_DIR` or watch live with `repro watch`",
+    )
     inspect = sub.add_parser(
         "inspect", help="summarize a telemetry run directory"
     )
     inspect.add_argument("run_dir", metavar="RUN_DIR")
+    health_cmd = sub.add_parser(
+        "health",
+        help="SLO/health report over a run directory (one produced with "
+             "cluster-study --health)",
+    )
+    health_cmd.add_argument("run_dir", metavar="RUN_DIR")
+    watch_cmd = sub.add_parser(
+        "watch",
+        help="live dashboard over a run directory's live.jsonl heartbeats "
+             "(refreshes until the run reports done)",
+    )
+    watch_cmd.add_argument("run_dir", metavar="RUN_DIR")
+    watch_cmd.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no refresh loop)",
+    )
+    watch_cmd.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh interval in wall-clock seconds (default: 1.0)",
+    )
     trace_cmd = sub.add_parser(
         "trace",
         help="critical-path report over a traced run directory "
@@ -197,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     azure_scale.add_argument("--policy", default="ch_bl")
     azure_scale.add_argument("--status-interval", type=float, default=2.0)
+    azure_scale.add_argument(
+        "--health", action="store_true",
+        help="grade every row's outcomes against the default SLO targets "
+             "(outside the timed region); adds slo_viol/alerts columns",
+    )
     azure_scale.add_argument(
         "--out", default=None, metavar="PATH",
         help="record path (default: BENCH_azure_scale.json at the repo root)",
@@ -287,6 +323,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.trace and args.compare_lb:
             parser.error("--trace applies to a single study run, not the "
                          "LB sweep")
+        if args.health and telemetry_dir is None:
+            parser.error("--health requires --telemetry DIR (or "
+                         f"${TELEMETRY_ENV_VAR}) to hold health.json")
+        if args.health and args.compare_lb:
+            parser.error("--health applies to a single study run, not the "
+                         "LB sweep")
         if args.compare_lb:
             from .experiments import run_cluster_lb_sweep
 
@@ -298,7 +340,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             result = run_cluster_study(scale, telemetry_dir=telemetry_dir,
                                        shards=args.shards,
-                                       trace_invocations=args.trace)
+                                       trace_invocations=args.trace,
+                                       health=args.health)
             out.append(format_table([result.as_dict()], title="Cluster study"))
             if telemetry_dir is not None:
                 out.append(f"telemetry run exported to {telemetry_dir}")
@@ -306,10 +349,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     out.append(
                         f"causal traces collected: repro trace {telemetry_dir}"
                     )
+                if args.health:
+                    out.append(
+                        f"health graded: repro health {telemetry_dir}"
+                    )
     elif args.command == "inspect":
         from .telemetry import inspect_report
 
         out.append(inspect_report(args.run_dir).rstrip())
+    elif args.command == "health":
+        from .health import health_report
+
+        out.append(health_report(args.run_dir).rstrip())
+    elif args.command == "watch":
+        from .health import watch
+
+        watch(args.run_dir, once=args.once, interval=args.interval)
+        print()
+        return 0
     elif args.command == "trace":
         from .tracing import export_perfetto, trace_report
 
@@ -358,6 +415,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             lb_policy=args.policy,
             status_interval=args.status_interval,
             out_path=args.out,
+            health=args.health,
         )
         table_rows = []
         for r in report.rows:
@@ -376,6 +434,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 row["overlap_pct"] = round(
                     100.0 * r.flight["overlap_efficiency"], 1
                 )
+            if r.health is not None:
+                row["slo_viol"] = r.health["slo_violations"]
+                row["alerts"] = r.health["alerts"]
             if r.fallback_reason is not None:
                 row["fallback"] = "yes"
             table_rows.append(row)

@@ -261,6 +261,7 @@ def run_sharded_replay(
     chunk_size: Optional[int] = None,
     spool_dir=None,
     flight_recorder: bool = False,
+    live_path=None,
 ) -> ShardedOutcome:
     """Replay an :class:`~repro.loadgen.openloop.InvocationPlan` on a
     sharded cluster; parameters mirror :class:`Cluster` + ``replay_plan``.
@@ -276,6 +277,14 @@ def run_sharded_replay(
     outcome's ``flight_log`` and exported as ``flight.json`` by the
     merged telemetry — purely observational, simulated results are
     unchanged.
+
+    ``live_path``, when set, appends coordinator heartbeats (JSON lines:
+    sim time reached, epoch count, placements so far) for ``repro watch``
+    to tail while the run executes; the final beat carries the merged
+    health totals when health telemetry was enabled.  Heartbeats are
+    written from the coordinator's overlap region, so they cost nothing
+    the flight recorder would not already attribute to overlapped work —
+    and they never touch simulated state.
 
     Raises :class:`ShardingUnavailable` when shard processes cannot start
     (callers fall back to the single-process path), and ``ValueError``
@@ -391,6 +400,17 @@ def run_sharded_replay(
 
         lb_trace = []
     fr = FlightRecorder() if flight_recorder else None
+    live_writer = None
+    next_live_t = 0.0
+    live_interval = 10.0
+    if live_path is not None:
+        from ..health.live import LiveWriter
+
+        health_cfg = getattr(telemetry_config, "health", None)
+        if health_cfg is not None:
+            live_interval = health_cfg.heartbeat_interval()
+        live_writer = LiveWriter(live_path)
+        next_live_t = live_interval
 
     def _prep(desc):
         """Slice one chunk's columns (the only per-chunk allocations)."""
@@ -485,6 +505,16 @@ def run_sharded_replay(
                         start=t, end=t + rpc, parent="lb_pick",
                         worker=names[picks[i]],
                     ))
+            if live_writer is not None and m and tlist[-1] >= next_live_t:
+                live_writer.heartbeat({
+                    "t": tlist[-1],
+                    "engine": "sharded",
+                    "placements": placements,
+                    "epoch": sum(sent),
+                })
+                next_live_t = (
+                    int(tlist[-1] // live_interval) + 1
+                ) * live_interval
             if fr is not None:
                 fr.epoch(
                     epoch=len(fr.epochs),
@@ -579,6 +609,20 @@ def run_sharded_replay(
             seam_stats=seam_stats,
             shards=num_shards,
         )
+
+    if live_writer is not None:
+        final = {
+            "t": float(horizon),
+            "engine": "sharded",
+            "placements": placements,
+            "epoch": sum(sent),
+        }
+        merged_health = getattr(telemetry, "health", None)
+        if merged_health is not None:
+            final.update(merged_health.totals())
+        final["done"] = True
+        live_writer.heartbeat(final)
+        live_writer.close()
 
     return ShardedOutcome(
         summaries=summaries,

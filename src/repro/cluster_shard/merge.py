@@ -158,6 +158,19 @@ class MergedTelemetry:
         # Shards tick the same simulated grid over the same horizon, so
         # every shard saw the same number of sampler rounds.
         self.samples = max((m.get("samples", 0) for m in metas), default=0)
+        # Per-shard health collectors, merged in shard order.  Every
+        # accumulator inside is an integer count or integer-merged sketch
+        # bucket, so the merge is order-independent and the result is the
+        # collector a serial run over the same arrivals builds.
+        self.health = None
+        health_parts = [
+            m["health"] for m in metas if m.get("health") is not None
+        ]
+        for part in health_parts:
+            if self.health is None:
+                self.health = part
+            else:
+                self.health.merge(part)
 
     # -- streams (merge-key order, never materialized) ----------------------
     def iter_records(self) -> Iterator:
@@ -240,6 +253,15 @@ class MergedTelemetry:
             flight_payload = dict(self.flight)
             if self.seam_stats is not None:
                 flight_payload["seam_stats"] = dict(self.seam_stats)
+        health = slo_rows = None
+        if self.health is not None:
+            from ..health.slo import evaluate_health
+
+            report = evaluate_health(
+                self.health, series=series,
+                config=getattr(self.config, "health", None),
+            )
+            health, slo_rows = report.health, report.rows
         # summary() first (its own transient passes), then stream the
         # record/span files straight off the merged iterators.
         summary = self.summary()
@@ -252,6 +274,8 @@ class MergedTelemetry:
             summary=summary,
             traces=self.iter_traces() if trace_on else None,
             flight=flight_payload,
+            health=health,
+            slo_rows=slo_rows,
             manifest=build_manifest(
                 self.config, self.worker_names, shards=self.shards
             ),

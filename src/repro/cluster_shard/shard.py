@@ -192,6 +192,11 @@ def _run_shard(conn, spec: ShardSpec) -> None:
             "series": dict(telemetry.series),
             "samples": telemetry.sampler.samples,
         }
+        if telemetry.health is not None:
+            # The whole collector ships: integer bucket counts, so the
+            # coordinator's shard-order merge reproduces the serial
+            # collector bit for bit.
+            payload["telemetry"]["health"] = telemetry.health
     conn.send(("result", payload))
 
 

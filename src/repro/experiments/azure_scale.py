@@ -58,6 +58,7 @@ class AzureScaleRow:
     summary: dict                  # reduced outcome, equal across rows
     seam_stats: Optional[dict] = None
     flight: Optional[dict] = None  # FlightRecorder totals (sharded rows)
+    health: Optional[dict] = None  # SLO violation/alert tallies (opt-in)
     fallback_reason: Optional[str] = None
 
     def as_dict(self) -> dict:
@@ -71,6 +72,8 @@ class AzureScaleRow:
         }
         if self.seam_stats is not None:
             out["seam_stats"] = dict(self.seam_stats)
+        if self.health is not None:
+            out["health"] = dict(self.health)
         if self.flight is not None:
             out["flight"] = {
                 k: (round(v, 6) if isinstance(v, float) else v)
@@ -112,16 +115,16 @@ def _peak_rss_mb() -> float:
 
 
 def _reduce(rows: list) -> dict:
-    """The shared reduced outcome from (dropped, completed, cold, e2e,
+    """The shared reduced outcome from (k, dropped, completed, cold, e2e,
     overhead) tuples — the equality surface across engines."""
-    done = [r for r in rows if not r[0] and r[1]]
-    e2e = [r[3] for r in done]
-    overheads = [r[4] for r in done]
+    done = [r for r in rows if not r[1] and r[2]]
+    e2e = [r[4] for r in done]
+    overheads = [r[5] for r in done]
     return {
         "invocations": len(rows),
         "completed": len(done),
-        "dropped": sum(1 for r in rows if r[0]),
-        "cold": sum(1 for r in done if r[2]),
+        "dropped": sum(1 for r in rows if r[1]),
+        "cold": sum(1 for r in done if r[3]),
         "e2e_p50_ms": percentile(e2e, 50) * 1000.0,
         "e2e_p99_ms": percentile(e2e, 99) * 1000.0,
         "overhead_p50_ms": percentile(overheads, 50) * 1000.0,
@@ -143,11 +146,14 @@ def _run_serial(plan, registrations, num_workers, config, lb_policy,
         cluster.register_sync(reg)
     invocations = replay_plan(env, cluster, plan, grace=grace)
     cluster.stop()
-    return _reduce([
-        (bool(i.dropped), i.completed_at is not None, bool(i.cold),
+    # replay_plan returns triggered invocations in plan order, so the
+    # enumeration index is the plan index k whenever nothing was left
+    # untriggered (an untriggered event would fail summaries_match too).
+    return [
+        (k, bool(i.dropped), i.completed_at is not None, bool(i.cold),
          i.e2e_time, i.overhead)
-        for i in invocations
-    ]), None, None
+        for k, i in enumerate(invocations)
+    ], None, None
 
 
 def _run_sharded(plan, registrations, num_workers, config, lb_policy,
@@ -167,9 +173,7 @@ def _run_sharded(plan, registrations, num_workers, config, lb_policy,
     flight = (
         outcome.flight_log["totals"] if outcome.flight_log is not None else None
     )
-    return _reduce([
-        (s[1], s[2], s[3], s[4], s[5]) for s in outcome.summaries
-    ]), outcome.seam_stats, flight
+    return list(outcome.summaries), outcome.seam_stats, flight
 
 
 def run_azure_scale(
@@ -187,6 +191,7 @@ def run_azure_scale(
     grace: float = 300.0,
     chunk_size: Optional[int] = None,
     out_path: Optional[Union[str, Path]] = None,
+    health=False,
 ) -> AzureScaleReport:
     """Replay an Azure-schema dataset at each shard count; record the curve.
 
@@ -200,7 +205,15 @@ def run_azure_scale(
     row) when shard processes cannot start.  Writes the record to
     ``out_path`` (default ``BENCH_azure_scale.json`` next to the repo's
     other BENCH files) and returns it as an :class:`AzureScaleReport`.
+    ``health`` (``True`` or a :class:`~repro.health.HealthConfig`) grades
+    every row's raw outcomes against the SLO engine *outside* the timed
+    region, adding violation/alert tallies to each row.
     """
+    health_cfg = None
+    if health:
+        from ..health import HealthConfig, normalize_health
+
+        health_cfg = normalize_health(health) or HealthConfig()
     if dataset_dir is not None:
         dataset = load_azure_csvs(dataset_dir)
         source = str(dataset_dir)
@@ -240,24 +253,34 @@ def run_azure_scale(
         flight = None
         t0 = time.perf_counter()
         if shards == 1:
-            summary, seam_stats, flight = _run_serial(
+            raw, seam_stats, flight = _run_serial(
                 plan, registrations, num_workers, config, lb_policy,
                 status_interval, grace,
             )
         else:
             try:
-                summary, seam_stats, flight = _run_sharded(
+                raw, seam_stats, flight = _run_sharded(
                     plan, registrations, num_workers, config, lb_policy,
                     status_interval, grace, shards, chunk_size,
                 )
             except ShardingUnavailable as exc:
                 fallback = str(exc)
                 engine = "serial"
-                summary, seam_stats, flight = _run_serial(
+                raw, seam_stats, flight = _run_serial(
                     plan, registrations, num_workers, config, lb_policy,
                     status_interval, grace,
                 )
         wall = time.perf_counter() - t0
+        summary = _reduce(raw)
+        row_health = None
+        if health_cfg is not None:
+            # Graded after the clock stops: SLO accounting is reporting,
+            # not replay work, and must not skew the throughput curve.
+            from ..health import summaries_health
+
+            row_health = summaries_health(
+                plan.fqdns, plan.timestamps, raw, config=health_cfg,
+            )
         rows.append(AzureScaleRow(
             shards=shards,
             engine=engine,
@@ -268,6 +291,7 @@ def run_azure_scale(
             summary=summary,
             seam_stats=seam_stats,
             flight=flight,
+            health=row_health,
             fallback_reason=fallback,
         ))
 

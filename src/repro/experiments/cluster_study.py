@@ -85,13 +85,21 @@ def _run_study_sharded(
     shards: int,
     telemetry_dir: Optional[str],
     trace_on: bool = False,
+    health=None,
 ) -> ClusterStudyResult:
     """The sharded engine's outcome, adapted to :class:`ClusterStudyResult`."""
     telemetry_config = None
+    live_path = None
     if telemetry_dir is not None:
         from ..telemetry import TelemetryConfig
 
-        telemetry_config = TelemetryConfig(trace=trace_on)
+        telemetry_config = TelemetryConfig(trace=trace_on, health=health)
+        if telemetry_config.health is not None:
+            from pathlib import Path
+
+            from ..telemetry import RUN_FILES
+
+            live_path = Path(telemetry_dir) / RUN_FILES["live"]
     registrations = [
         FunctionRegistration(
             name=f.name,
@@ -120,6 +128,7 @@ def _run_study_sharded(
             telemetry_config=telemetry_config,
             spool_dir=spool.name if spool is not None else None,
             flight_recorder=trace_on,
+            live_path=live_path,
         )
         if outcome.telemetry is not None:
             outcome.telemetry.export(telemetry_dir)
@@ -160,6 +169,7 @@ def run_cluster_study(
     telemetry_dir: Optional[str] = None,
     shards: Optional[int] = None,
     trace_invocations: bool = False,
+    health=False,
 ) -> ClusterStudyResult:
     """Replay (a clip of) the representative trace on a cluster.
 
@@ -178,6 +188,11 @@ def run_cluster_study(
     collects causal trace trees (``repro.tracing``) into the run
     directory's ``traces.jsonl`` and, on sharded runs, the coordinator's
     flight-recorder log into ``flight.json``.
+    ``health`` (requires ``telemetry_dir``) turns on the streaming
+    health/SLO pipeline (``repro.health``): pass ``True`` for the default
+    :class:`~repro.health.HealthConfig` or a configured instance; the run
+    directory gains ``health.json``, ``slo.jsonl``, ``health.prom`` and
+    ``live.jsonl`` heartbeats for ``repro watch``.
     """
     if not 0 < target_load_fraction:
         raise ValueError("target_load_fraction must be positive")
@@ -204,6 +219,7 @@ def run_cluster_study(
                 trace, plan, num_workers, config, lb_policy,
                 status_interval, shards, telemetry_dir,
                 trace_on=trace_invocations,
+                health=health or None,
             )
         except ShardingUnavailable as exc:
             warnings.warn(
@@ -224,11 +240,17 @@ def run_cluster_study(
     telemetry = None
     if telemetry_dir is not None:
         # Deferred import: the pipeline only loads when somebody opts in.
-        from ..telemetry import Telemetry, TelemetryConfig
+        from ..telemetry import RUN_FILES, Telemetry, TelemetryConfig
 
-        telemetry = Telemetry(env, TelemetryConfig(trace=trace_invocations))
+        telemetry = Telemetry(
+            env, TelemetryConfig(trace=trace_invocations, health=health or None)
+        )
         cluster.attach_telemetry(telemetry)
         telemetry.start()
+        if telemetry.health is not None:
+            from pathlib import Path
+
+            telemetry.enable_live(Path(telemetry_dir) / RUN_FILES["live"])
     cluster.start()
     for f in trace.functions:
         cluster.register_sync(

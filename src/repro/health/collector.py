@@ -1,0 +1,202 @@
+"""Streaming per-function health accumulator fed from the record hook.
+
+A :class:`HealthCollector` hangs off the telemetry layer's record sink
+(:attr:`repro.metrics.registry.MetricsRegistry.record_sink`) and folds
+every finished invocation into windowed sketches and integer counters —
+per function for end-to-end latency and outcome mix, per worker for
+queue time and control-plane overhead.  It holds nothing that depends on
+observation order: integer counts, integer-merged sketches, and
+order-independent min/max, so per-shard collectors reduce with
+:meth:`merge` to exactly the collector a serial run would have built.
+
+The collector is deliberately ignorant of SLO targets; it only measures.
+:func:`repro.health.slo.evaluate_health` turns a collector (plus sampled
+gauge series) into the ``health.json`` / ``slo.jsonl`` artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .sketch import WindowedSketch, window_index
+
+__all__ = ["HealthCollector", "COUNT_KEYS"]
+
+# Per-window outcome counters tracked for every function.  TIMEOUT folds
+# into "dropped", matching MetricsRegistry.outcomes_by_function.
+COUNT_KEYS = ("total", "completed", "cold", "dropped")
+
+
+class HealthCollector:
+    """Windowed health accumulators; picklable, deterministically mergeable."""
+
+    __slots__ = (
+        "window", "relative_accuracy",
+        "e2e", "counts", "queue", "overhead", "overall",
+    )
+
+    def __init__(self, window: float = 10.0, relative_accuracy: float = 0.01):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        self.window = float(window)
+        self.relative_accuracy = float(relative_accuracy)
+        # function -> WindowedSketch of e2e latency (completed invocations)
+        self.e2e: dict[str, WindowedSketch] = {}
+        # function -> window index -> {total, completed, cold, dropped}
+        self.counts: dict[str, dict[int, dict[str, int]]] = {}
+        # worker -> WindowedSketch of queue time / control-plane overhead
+        self.queue: dict[str, WindowedSketch] = {}
+        self.overhead: dict[str, WindowedSketch] = {}
+        # every completed e2e sample, one stream (drives the live p99)
+        self.overall = self._sketch()
+
+    def _sketch(self) -> WindowedSketch:
+        return WindowedSketch(self.window, self.relative_accuracy)
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, function: str, t: float, *, completed: bool,
+                cold: bool = False,
+                e2e_time: Optional[float] = None,
+                queue_time: Optional[float] = None,
+                overhead: Optional[float] = None,
+                worker: str = "") -> None:
+        """Fold one finished invocation in at completion time ``t``."""
+        idx = window_index(t, self.window)
+        by_window = self.counts.get(function)
+        if by_window is None:
+            by_window = self.counts[function] = {}
+        row = by_window.get(idx)
+        if row is None:
+            row = by_window[idx] = dict.fromkeys(COUNT_KEYS, 0)
+        row["total"] += 1
+        if completed:
+            row["completed"] += 1
+            if cold:
+                row["cold"] += 1
+            if e2e_time is not None:
+                sketch = self.e2e.get(function)
+                if sketch is None:
+                    sketch = self.e2e[function] = self._sketch()
+                sketch.observe(t, e2e_time)
+                self.overall.observe(t, e2e_time)
+            if worker:
+                if queue_time is not None:
+                    sketch = self.queue.get(worker)
+                    if sketch is None:
+                        sketch = self.queue[worker] = self._sketch()
+                    sketch.observe(t, queue_time)
+                if overhead is not None:
+                    sketch = self.overhead.get(worker)
+                    if sketch is None:
+                        sketch = self.overhead[worker] = self._sketch()
+                    sketch.observe(t, overhead)
+        else:
+            row["dropped"] += 1
+
+    def observe_record(self, record) -> None:
+        """Record-sink adapter for :class:`~repro.metrics.registry.MetricsRegistry`.
+
+        Dropped/timed-out invocations carry no useful e2e; they are folded
+        in at arrival time.  Completed ones land in the window of their
+        completion instant ``arrival + e2e_time``.
+        """
+        outcome = getattr(record.outcome, "value", record.outcome)
+        completed = outcome not in ("dropped", "timeout")
+        t = record.arrival + (record.e2e_time if completed else 0.0)
+        self.observe(
+            record.function, t,
+            completed=completed,
+            cold=bool(record.cold),
+            e2e_time=record.e2e_time if completed else None,
+            queue_time=record.queue_time if completed else None,
+            overhead=record.overhead if completed else None,
+            worker=record.worker or "",
+        )
+
+    # -- reduction ---------------------------------------------------------
+    def merge(self, other: "HealthCollector") -> None:
+        """Fold another collector in; pure integer/sketch merges, so the
+        result is independent of merge order and bit-identical to a
+        single-stream collector over the union of samples."""
+        if (other.window != self.window
+                or other.relative_accuracy != self.relative_accuracy):
+            raise ValueError(
+                "cannot merge health collectors with different config: "
+                f"window {self.window} vs {other.window}, "
+                f"relative_accuracy {self.relative_accuracy} vs "
+                f"{other.relative_accuracy}"
+            )
+        for fqdn, sketch in other.e2e.items():
+            mine = self.e2e.get(fqdn)
+            if mine is None:
+                self.e2e[fqdn] = mine = self._sketch()
+            mine.merge(sketch)
+        for fqdn, by_window in other.counts.items():
+            mine_w = self.counts.get(fqdn)
+            if mine_w is None:
+                mine_w = self.counts[fqdn] = {}
+            for idx, row in by_window.items():
+                mine_row = mine_w.get(idx)
+                if mine_row is None:
+                    mine_w[idx] = dict(row)
+                else:
+                    for key in COUNT_KEYS:
+                        mine_row[key] += row[key]
+        for attr in ("queue", "overhead"):
+            theirs = getattr(other, attr)
+            ours = getattr(self, attr)
+            for worker, sketch in theirs.items():
+                mine = ours.get(worker)
+                if mine is None:
+                    ours[worker] = mine = self._sketch()
+                mine.merge(sketch)
+        self.overall.merge(other.overall)
+
+    # -- queries -----------------------------------------------------------
+    def functions(self) -> list[str]:
+        return sorted(self.counts)
+
+    def workers(self) -> list[str]:
+        return sorted(set(self.queue) | set(self.overhead))
+
+    def window_range(self) -> tuple[int, int]:
+        """Inclusive (first, last) window index with any activity; (0, -1)
+        when nothing was observed."""
+        indices = [idx for by_w in self.counts.values() for idx in by_w]
+        if not indices:
+            return (0, -1)
+        return (min(indices), max(indices))
+
+    def totals(self) -> dict[str, int]:
+        out = dict.fromkeys(COUNT_KEYS, 0)
+        for by_window in self.counts.values():
+            for row in by_window.values():
+                for key in COUNT_KEYS:
+                    out[key] += row[key]
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HealthCollector):
+            return NotImplemented
+        return (
+            self.window == other.window
+            and self.relative_accuracy == other.relative_accuracy
+            and self.e2e == other.e2e
+            and self.counts == other.counts
+            and self.queue == other.queue
+            and self.overhead == other.overhead
+            and self.overall == other.overall
+        )
+
+    __hash__ = None  # mutable
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)

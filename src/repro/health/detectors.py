@@ -1,0 +1,218 @@
+"""EWMA/z-score anomaly detectors over the sampled telemetry gauges.
+
+These run post-hoc over the exported :class:`~repro.telemetry.sampler.Timeseries`
+columns (which are identical between serial and sharded runs), so the
+alert stream inherits the repo's byte-identity guarantee for free.  Four
+detectors, matching the failure modes the paper's control plane guards
+against:
+
+``queue_depth_spike``
+    a worker's queue depth jumps far above its EWMA baseline — the
+    dispatcher is falling behind;
+``memory_pressure``
+    a worker's used memory jumps above baseline — the keep-alive pool is
+    about to start evicting;
+``idle_worker_collapse``
+    a worker's warm pool empties while work is still queued — every
+    subsequent dispatch pays a cold start;
+``cold_start_storm``
+    cluster-wide cold starts per health window spike above both the
+    configured floor and the EWMA baseline.
+
+All detectors are upward-only (a queue draining is recovery, not an
+anomaly), warm up before firing, and apply cooldown hysteresis so one
+sustained excursion yields one alert, not one per sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .collector import HealthCollector
+
+__all__ = ["Alert", "EwmaDetector", "detect_anomalies"]
+
+# Samples a detector must see before it is allowed to fire.
+WARMUP_SAMPLES = 5
+# Samples to hold quiet after firing (hysteresis).
+COOLDOWN_SAMPLES = 5
+# Variance floor keeps z finite on dead-flat baselines.
+STD_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One typed anomaly, positioned in sim time."""
+
+    kind: str        # queue_depth_spike | memory_pressure | ...
+    entity: str      # worker name, or "cluster"
+    t: float
+    value: float
+    baseline: float
+    threshold: float
+    severity: str    # "warning" | "critical"
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "entity": self.entity,
+            "t": self.t,
+            "value": self.value,
+            "baseline": self.baseline,
+            "threshold": self.threshold,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class EwmaDetector:
+    """Streaming EWMA mean/variance with upward z-score firing.
+
+    ``update`` folds one sample in and returns the z-score when the
+    sample should alert: above the threshold, after warmup, outside the
+    cooldown window, and *above* the baseline (upward-only).
+    """
+
+    __slots__ = ("alpha", "z_threshold", "mean", "var", "n", "_cooldown")
+
+    def __init__(self, alpha: float = 0.3, z_threshold: float = 4.0):
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.mean = 0.0
+        self.var = 0.0
+        self.n = 0
+        self._cooldown = 0
+
+    def update(self, value: float) -> Optional[tuple[float, float]]:
+        """Returns ``(z, baseline)`` when this sample fires, else None.
+
+        The z-score is judged against the baseline *before* the sample is
+        folded in — the spike must stand out from history, and a single
+        huge excursion cannot mask itself by inflating the variance it is
+        measured against.
+        """
+        fired = None
+        if self.n >= WARMUP_SAMPLES:
+            std = math.sqrt(self.var)
+            if std < STD_FLOOR:
+                std = STD_FLOOR
+            z = (value - self.mean) / std
+            if z >= self.z_threshold and self._cooldown == 0:
+                fired = (z, self.mean)
+                self._cooldown = COOLDOWN_SAMPLES
+            elif self._cooldown > 0 and z < self.z_threshold:
+                self._cooldown -= 1
+        # Fold in (EWMA mean + EWMA variance).
+        diff = value - self.mean
+        incr = self.alpha * diff
+        self.mean += incr
+        self.var = (1.0 - self.alpha) * (self.var + diff * incr)
+        self.n += 1
+        return fired
+
+
+def _severity(z: float, threshold: float) -> str:
+    return "critical" if z >= 2.0 * threshold else "warning"
+
+
+def _scan_worker(name: str, series, config) -> list[Alert]:
+    """Run the per-worker gauge detectors over one sampled Timeseries."""
+    columns = getattr(series, "columns", ())
+    needed = ("t", "queue_depth", "warm_containers", "memory_used_mb")
+    if any(col not in columns for col in needed):
+        return []  # not a worker series (e.g. the LB load table)
+    ts = series.column("t")
+    queue = series.column("queue_depth")
+    warm = series.column("warm_containers")
+    memory = series.column("memory_used_mb")
+
+    alerts: list[Alert] = []
+    queue_det = EwmaDetector(config.ewma_alpha, config.z_threshold)
+    mem_det = EwmaDetector(config.ewma_alpha, config.z_threshold)
+    prev_warm = 0.0
+    for i, t in enumerate(ts):
+        fired = queue_det.update(queue[i])
+        if fired is not None:
+            z, baseline = fired
+            alerts.append(Alert(
+                kind="queue_depth_spike", entity=name, t=t,
+                value=queue[i], baseline=baseline, threshold=config.z_threshold,
+                severity=_severity(z, config.z_threshold),
+                message=(
+                    f"{name}: queue depth {queue[i]:g} is {z:.1f} sigma above "
+                    f"its EWMA baseline {baseline:.2f}"
+                ),
+            ))
+        fired = mem_det.update(memory[i])
+        if fired is not None:
+            z, baseline = fired
+            alerts.append(Alert(
+                kind="memory_pressure", entity=name, t=t,
+                value=memory[i], baseline=baseline, threshold=config.z_threshold,
+                severity=_severity(z, config.z_threshold),
+                message=(
+                    f"{name}: used memory {memory[i]:.0f} MB is {z:.1f} sigma "
+                    f"above its EWMA baseline {baseline:.0f} MB"
+                ),
+            ))
+        if prev_warm > 0 and warm[i] == 0 and queue[i] > 0:
+            alerts.append(Alert(
+                kind="idle_worker_collapse", entity=name, t=t,
+                value=queue[i], baseline=prev_warm, threshold=0.0,
+                severity="warning",
+                message=(
+                    f"{name}: warm pool emptied with {queue[i]:g} invocations "
+                    "still queued — subsequent dispatches pay cold starts"
+                ),
+            ))
+        prev_warm = warm[i]
+    return alerts
+
+
+def _scan_cold_storms(collector: HealthCollector, config) -> list[Alert]:
+    """Cluster-wide cold starts per health window vs EWMA baseline."""
+    first, last = collector.window_range()
+    if last < first:
+        return []
+    per_window = dict.fromkeys(range(first, last + 1), 0)
+    for by_window in collector.counts.values():
+        for idx, row in by_window.items():
+            per_window[idx] += row["cold"]
+    alerts: list[Alert] = []
+    det = EwmaDetector(config.ewma_alpha, config.z_threshold)
+    for idx in range(first, last + 1):
+        cold = per_window[idx]
+        fired = det.update(float(cold))
+        if fired is not None and cold >= config.cold_storm_min:
+            z, baseline = fired
+            t = idx * collector.window
+            alerts.append(Alert(
+                kind="cold_start_storm", entity="cluster", t=t,
+                value=float(cold), baseline=baseline,
+                threshold=float(config.cold_storm_min),
+                severity=_severity(z, config.z_threshold),
+                message=(
+                    f"cluster: {cold} cold starts in window [{t:g}, "
+                    f"{t + collector.window:g}) vs EWMA baseline "
+                    f"{baseline:.1f}"
+                ),
+            ))
+    return alerts
+
+
+def detect_anomalies(series: dict, collector: HealthCollector,
+                     config) -> list[Alert]:
+    """All detectors over all workers, returned in (t, kind, entity) order.
+
+    ``series`` maps name -> sampled Timeseries (the telemetry layer's
+    export shape); non-worker tables are skipped by column sniffing.
+    """
+    alerts: list[Alert] = []
+    for name in sorted(series):
+        alerts.extend(_scan_worker(name, series[name], config))
+    alerts.extend(_scan_cold_storms(collector, config))
+    alerts.sort(key=lambda a: (a.t, a.kind, a.entity))
+    return alerts

@@ -70,9 +70,19 @@ class LogHistogram:
             self._max = value
 
     def merge(self, other: "LogHistogram") -> None:
-        """Add another histogram's counts into this one (same shape only)."""
+        """Add another histogram's counts into this one.
+
+        Both histograms must share the exact bucket geometry — same base
+        (growth factor) and same offset (first bound).  Anything else
+        would silently misattribute counts, so it is a hard error.
+        """
         if other.bounds != self.bounds:
-            raise ValueError("cannot merge histograms with different bucket bounds")
+            raise ValueError(
+                "cannot merge histograms with different bucket geometry: "
+                f"base {self.growth:g} vs {other.growth:g}, offset "
+                f"{self.bounds[0]:g} vs {other.bounds[0]:g}, "
+                f"{len(self.bounds)} vs {len(other.bounds)} bounds"
+            )
         for i, c in enumerate(other.counts):
             self.counts[i] += c
         self.count += other.count

@@ -70,6 +70,12 @@ class MetricsRegistry:
     # observed at completion.  ``None`` keeps record_invocation on its
     # original path: one attribute load and a branch, no allocation.
     _latency_hists: Optional[tuple] = field(default=None, repr=False)
+    # When set (health opt-in), called with every finished record — the
+    # streaming health collector's feed.  Same cost discipline as
+    # ``_latency_hists``: one attribute load and a branch when off.
+    record_sink: Optional[Callable[[InvocationRecord], None]] = field(
+        default=None, repr=False
+    )
 
     # -- counters / gauges ----------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -114,6 +120,9 @@ class MetricsRegistry:
                 hists[0].observe(record.e2e_time)
                 hists[1].observe(record.queue_time)
                 hists[2].observe(record.overhead)
+        sink = self.record_sink
+        if sink is not None:
+            sink(record)
 
     # -- rollups -----------------------------------------------------------
     def outcomes(self) -> dict[Outcome, int]:

@@ -114,6 +114,26 @@ class OnlineStats:
         self._mean += delta / self.n
         self._m2 += delta * (x - self._mean)
 
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator in (Chan et al.'s parallel combine).
+
+        Lets shard-local running stats reduce like every other telemetry
+        structure: mean and M2 combine exactly (up to float rounding) as
+        if every sample had been pushed into one accumulator.
+        """
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            return
+        total = self.n + other.n
+        delta = other._mean - self._mean
+        self._mean += delta * other.n / total
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self.n = total
+
     @property
     def mean(self) -> float:
         return self._mean if self.n else float("nan")

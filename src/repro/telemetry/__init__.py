@@ -34,7 +34,10 @@ from .decomposition import (
 from .exporters import (
     dump_timeseries_csv,
     dump_timeseries_jsonl,
+    escape_label_value,
+    render_health_prometheus,
     render_prometheus,
+    write_health_prometheus,
     write_prometheus,
 )
 from .runs import (
@@ -66,7 +69,10 @@ __all__ = [
     "match_records",
     "dump_timeseries_csv",
     "dump_timeseries_jsonl",
+    "escape_label_value",
+    "render_health_prometheus",
     "render_prometheus",
+    "write_health_prometheus",
     "write_prometheus",
     "RUN_FILES",
     "Telemetry",

@@ -40,7 +40,11 @@ from .decomposition import (
     decompose_contexts,
     match_records,
 )
-from .exporters import dump_timeseries_jsonl, write_prometheus
+from .exporters import (
+    dump_timeseries_jsonl,
+    write_health_prometheus,
+    write_prometheus,
+)
 from .sampler import TelemetryConfig, TelemetrySampler, Timeseries
 
 __all__ = [
@@ -56,7 +60,9 @@ __all__ = [
 # Canonical run-directory layout (name → filename).  The first five are
 # always written; the rest only when the run produced them ("traces" when
 # tracing was enabled, "flight" when the sharded coordinator recorded its
-# flight log, "manifest" whenever the writer supplies provenance).
+# flight log, "health"/"slo"/"health_prom" when the health layer was on,
+# "live" while a health-enabled run is in flight, "manifest" whenever the
+# writer supplies provenance).
 RUN_FILES = {
     "timeseries": "timeseries.jsonl",
     "spans": "spans.jsonl",
@@ -65,6 +71,10 @@ RUN_FILES = {
     "summary": "summary.json",
     "traces": "traces.jsonl",
     "flight": "flight.json",
+    "health": "health.json",
+    "slo": "slo.jsonl",
+    "health_prom": "health.prom",
+    "live": "live.jsonl",
     "manifest": "manifest.json",
 }
 _CORE_FILES = ("timeseries", "spans", "records", "metrics", "summary")
@@ -80,6 +90,8 @@ def write_run_dir(
     summary: dict,
     traces=None,
     flight: Optional[dict] = None,
+    health: Optional[dict] = None,
+    slo_rows=None,
     manifest: Optional[dict] = None,
 ) -> dict[str, Path]:
     """Write the canonical run-directory layout from already-merged parts.
@@ -133,6 +145,18 @@ def write_run_dir(
         with open(paths["flight"], "w") as fh:
             json.dump(flight, fh, indent=2)
             fh.write("\n")
+    if health is not None:
+        paths["health"] = run_dir / RUN_FILES["health"]
+        with open(paths["health"], "w") as fh:
+            json.dump(health, fh, indent=2)
+            fh.write("\n")
+        paths["slo"] = run_dir / RUN_FILES["slo"]
+        with open(paths["slo"], "w") as fh:
+            for row in (slo_rows or ()):
+                fh.write(json.dumps(row, separators=(",", ":")))
+                fh.write("\n")
+        paths["health_prom"] = run_dir / RUN_FILES["health_prom"]
+        write_health_prometheus(health, paths["health_prom"])
     if manifest is not None:
         paths["manifest"] = run_dir / RUN_FILES["manifest"]
         with open(paths["manifest"], "w") as fh:
@@ -154,13 +178,19 @@ def build_summary(
     for r in records:
         outcomes[r.outcome.value] = outcomes.get(r.outcome.value, 0) + 1
     matched, compared = match_records(breakdowns, records)
+    cfg = {
+        "interval": config.interval,
+        "sample_energy": config.sample_energy,
+        "keep_spans": config.keep_spans,
+        "histograms": config.histograms,
+    }
+    # Only present when enabled, so a health-off summary.json stays
+    # byte-identical to exports from before the health layer existed.
+    health = getattr(config, "health", None)
+    if health is not None:
+        cfg["health"] = health.describe()
     return {
-        "config": {
-            "interval": config.interval,
-            "sample_energy": config.sample_energy,
-            "keep_spans": config.keep_spans,
-            "histograms": config.histograms,
-        },
+        "config": cfg,
         "workers": list(worker_names),
         "samples": samples,
         "invocations": len(records),
@@ -197,6 +227,9 @@ def build_manifest(
         "histograms": config.histograms,
         "trace": getattr(config, "trace", False),
     }
+    health = getattr(config, "health", None)
+    if health is not None:
+        cfg["health"] = health.describe()
     payload = json.dumps({"config": cfg, "workers": list(worker_names)},
                          sort_keys=True)
     from .. import __version__
@@ -237,6 +270,11 @@ class Telemetry:
             from ..tracing import TraceCollector
 
             self.tracer = TraceCollector()
+        self.health = None
+        if self.config.health is not None:
+            self.health = self.config.health.collector()
+        self._live_writer = None
+        self._live_running = False
 
     # -- wiring ------------------------------------------------------------
     def attach_worker(self, worker) -> None:
@@ -253,6 +291,8 @@ class Telemetry:
             worker.metrics.enable_latency_histograms()
         if self.tracer is not None:
             self.tracer.attach_worker(worker)
+        if self.health is not None:
+            worker.metrics.record_sink = self.health.observe_record
         self._workers.append(worker)
 
     def attach_cluster(self, cluster) -> None:
@@ -276,6 +316,60 @@ class Telemetry:
 
     def stop(self) -> None:
         self.sampler.stop()
+        self._live_running = False
+
+    # -- live heartbeat ----------------------------------------------------
+    def enable_live(self, path) -> None:
+        """Stream windowed health snapshots to ``path`` (JSON lines) while
+        the run executes — the feed ``repro watch`` tails.  Requires
+        health to be enabled; probes are read-only, so the heartbeat
+        process cannot perturb the schedule."""
+        if self.health is None:
+            raise RuntimeError(
+                "live heartbeats need health enabled: TelemetryConfig(health=...)"
+            )
+        if self._live_writer is not None:
+            raise RuntimeError("live heartbeat already enabled")
+        from ..health.live import LiveWriter
+
+        self._live_writer = LiveWriter(path)
+        self._live_running = True
+        self.env.process(self._live_loop(), name="health-live-heartbeat")
+
+    def _live_snapshot(self) -> dict:
+        totals = self.health.totals()
+        queue_depth = sum(len(w.queue) for w in self._workers)
+        running = sum(w.load.running for w in self._workers)
+        indices = sorted(self.health.overall.sketches)
+        p99 = None
+        if indices:
+            value = self.health.overall.sketches[indices[-1]].quantile(99.0)
+            p99 = value if value == value else None
+        return {
+            "t": self.env.now,
+            "engine": "serial",
+            **totals,
+            "queue_depth": queue_depth,
+            "running": running,
+            "e2e_p99": p99,
+        }
+
+    def _live_loop(self):
+        interval = self.config.health.heartbeat_interval()
+        writer = self._live_writer
+        while self._live_running:
+            yield self.env.timeout(interval)
+            writer.heartbeat(self._live_snapshot())
+
+    def _finish_live(self) -> None:
+        if self._live_writer is None:
+            return
+        self._live_running = False
+        final = self._live_snapshot()
+        final["done"] = True
+        self._live_writer.heartbeat(final)
+        self._live_writer.close()
+        self._live_writer = None
 
     # -- views -------------------------------------------------------------
     @property
@@ -348,9 +442,18 @@ class Telemetry:
     # -- export ------------------------------------------------------------
     def export(self, run_dir: Union[str, Path]) -> dict[str, Path]:
         """Write the run directory; returns {kind: path}."""
+        self._finish_live()
         series = dict(self.sampler.series)
         if len(self.sampler.lb_loads):
             series["lb"] = self.sampler.lb_loads
+        health = slo_rows = None
+        if self.health is not None:
+            from ..health.slo import evaluate_health
+
+            report = evaluate_health(
+                self.health, series=series, config=self.config.health
+            )
+            health, slo_rows = report.health, report.rows
         return write_run_dir(
             run_dir,
             series=series,
@@ -359,6 +462,8 @@ class Telemetry:
             registry=self.merged_metrics(),
             summary=self.summary(),
             traces=self.trace_events() if self.tracer is not None else None,
+            health=health,
+            slo_rows=slo_rows,
             manifest=build_manifest(
                 self.config, [w.name for w in self._workers]
             ),
@@ -380,8 +485,9 @@ def load_run(run_dir: Union[str, Path]) -> dict:
     """Read a telemetry run directory back into memory.
 
     Returns ``{"summary", "records", "spans", "timeseries", "metrics_text",
-    "manifest", "flight", "traces"}`` with missing files mapped to empty
-    values, so partially exported directories still inspect cleanly.
+    "manifest", "flight", "traces", "health", "slo"}`` with missing files
+    mapped to empty values, so partially exported directories still
+    inspect cleanly.
     """
     run_dir = Path(run_dir)
     out: dict = {
@@ -393,7 +499,16 @@ def load_run(run_dir: Union[str, Path]) -> dict:
         "manifest": {},
         "flight": {},
         "traces": [],
+        "health": {},
+        "slo": [],
     }
+    health_path = run_dir / RUN_FILES["health"]
+    if health_path.exists():
+        out["health"] = json.loads(health_path.read_text())
+    slo_path = run_dir / RUN_FILES["slo"]
+    if slo_path.exists():
+        with open(slo_path) as fh:
+            out["slo"] = [json.loads(line) for line in fh if line.strip()]
     summary_path = run_dir / RUN_FILES["summary"]
     if summary_path.exists():
         out["summary"] = json.loads(summary_path.read_text())
@@ -534,6 +649,13 @@ def inspect_report(run_dir: Union[str, Path]) -> str:
             f"invocations (render with `repro trace {run_dir}`)"
         )
         lines.append("")
+
+    from ..health.report import health_section
+
+    lines.extend(health_section(run_dir))
+    if data["health"]:
+        lines.append(f"  (full report: `repro health {run_dir}`)")
+    lines.append("")
 
     ts = data["timeseries"]
     if ts:

@@ -19,7 +19,7 @@ off" design point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Iterator, Sequence
+from typing import Callable, Generator, Iterator, Optional, Sequence
 
 __all__ = [
     "TelemetryConfig",
@@ -53,10 +53,18 @@ class TelemetryConfig:
     keep_spans: bool = True        # retain spans for the decomposition
     histograms: bool = True        # e2e/queue/overhead latency histograms
     trace: bool = False            # collect causal trace trees (repro.tracing)
+    # Streaming health/SLO layer (repro.health): None/False = off,
+    # True = defaults, or a repro.health.HealthConfig.  Normalized to a
+    # HealthConfig (or None) at construction.
+    health: Optional[object] = None
 
     def __post_init__(self):
         if self.interval <= 0:
             raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.health is not None:
+            from ..health.slo import normalize_health
+
+            object.__setattr__(self, "health", normalize_health(self.health))
 
 
 class Timeseries:

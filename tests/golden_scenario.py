@@ -98,14 +98,16 @@ def reduce_run(records, spans, breakdowns) -> dict:
 
 
 def run_scenario(telemetry_config: TelemetryConfig = None,
-                 return_telemetry: bool = False):
+                 return_telemetry: bool = False,
+                 live_path=None):
     """Replay the fixed workload; return the JSON-stable reduction.
 
     ``telemetry_config`` overrides the default pipeline config (tests use
     it to opt the same fixed workload into causal tracing);
     ``return_telemetry`` additionally returns the live :class:`Telemetry`
     object as ``(reduction, telemetry)`` so callers can read views the
-    reduction drops (trace events, contexts).
+    reduction drops (trace events, contexts); ``live_path`` turns on the
+    health heartbeat file (requires a health-enabled config).
     """
     env = Environment()
     cluster = Cluster(
@@ -120,6 +122,8 @@ def run_scenario(telemetry_config: TelemetryConfig = None,
     )
     cluster.attach_telemetry(telemetry)
     telemetry.start()
+    if live_path is not None:
+        telemetry.enable_live(live_path)
     cluster.start()
     for reg in FUNCTIONS:
         cluster.register_sync(reg)

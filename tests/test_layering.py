@@ -56,6 +56,7 @@ LAYERS = {
     "experiments": 4,
     "telemetry": 4,
     "tracing": 4,
+    "health": 4,
     "cluster_shard": 4,
     "cli": 4,
     "profile": 4,

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.metrics import (
     EnergyModel,
@@ -78,6 +80,41 @@ def test_online_stats_empty_and_zero_mean():
     assert np.isnan(s.mean)
     s.push(0.0)
     assert s.cov == float("inf")
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    left=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                            allow_nan=False, allow_infinity=False),
+                  max_size=100),
+    right=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                             allow_nan=False, allow_infinity=False),
+                   max_size=100),
+)
+def test_online_stats_merge_matches_pooled_recompute(left, right):
+    a, b = OnlineStats(), OnlineStats()
+    for x in left:
+        a.push(x)
+    for x in right:
+        b.push(x)
+    a.merge(b)
+    pooled = np.asarray(left + right, dtype=float)
+    assert a.n == pooled.size
+    if pooled.size == 0:
+        assert np.isnan(a.mean)
+    else:
+        assert a.mean == pytest.approx(pooled.mean(), abs=1e-6)
+        assert a.variance == pytest.approx(pooled.var(), rel=1e-6, abs=1e-6)
+
+
+def test_online_stats_merge_empty_edges():
+    a, b = OnlineStats(), OnlineStats()
+    b.push(2.0)
+    b.push(4.0)
+    a.merge(b)           # empty <- populated copies
+    assert (a.n, a.mean) == (2, 3.0)
+    a.merge(OnlineStats())  # populated <- empty is a no-op
+    assert (a.n, a.mean) == (2, 3.0)
 
 
 # ------------------------------------------------------------------- spans

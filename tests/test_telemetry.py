@@ -122,6 +122,43 @@ def test_histogram_merge():
         a.merge(LogHistogram(lo=1e-3))
 
 
+def test_histogram_merge_mismatch_names_both_geometries():
+    # The error must say *how* the shapes differ — base, offset, bound
+    # count — so a failed shard merge is diagnosable from the message.
+    with pytest.raises(ValueError, match=r"offset 1e-05 vs 0\.001"):
+        LogHistogram().merge(LogHistogram(lo=1e-3))
+    with pytest.raises(ValueError, match=r"base .* vs .*bounds"):
+        LogHistogram().merge(LogHistogram(buckets_per_decade=5))
+
+
+def test_histogram_merge_empty_is_identity():
+    h = LogHistogram()
+    for v in (0.05, 0.2, 1.5):
+        h.observe(v)
+    counts = list(h.counts)
+    h.merge(LogHistogram())          # populated <- empty: no-op
+    assert h.counts == counts
+    assert (h.count, h.minimum, h.maximum) == (3, 0.05, 1.5)
+    empty = LogHistogram()
+    empty.merge(h)                   # empty <- populated: full copy
+    assert empty.counts == h.counts
+    assert (empty.count, empty.minimum, empty.maximum) == (3, 0.05, 1.5)
+
+
+def test_histogram_quantile_after_merge_matches_single_stream():
+    samples = [0.01 * (i + 1) for i in range(50)] + [2.0, 5.0, 9.0]
+    whole = LogHistogram()
+    for v in samples:
+        whole.observe(v)
+    a, b = LogHistogram(), LogHistogram()
+    for i, v in enumerate(samples):
+        (a if i % 2 else b).observe(v)
+    a.merge(b)
+    assert a.counts == whole.counts
+    for q in (0, 50, 90, 99, 100):
+        assert a.quantile(q) == whole.quantile(q)
+
+
 def test_histogram_cumulative_and_reset():
     h = LogHistogram(lo=0.1, hi=10.0, buckets_per_decade=1)
     h.observe(0.5)
@@ -319,6 +356,134 @@ def test_prometheus_rendering_parses():
     joined = "\n".join(lines)
     for kind in ("counter", "gauge", "histogram"):
         assert f" {kind}" in joined
+
+
+# A strict model of the text exposition format: metric name, optional
+# label set (escaped values), float value.  Stricter than PROM_LINE — it
+# recovers the label values so escaping can be checked round-trip.
+_STRICT_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\")*)\})?"
+    r" (?P<value>[0-9eE+.\-]+|[+-]Inf|NaN)$"
+)
+_STRICT_LABEL = re.compile(
+    r"([a-zA-Z_][a-zA-Z0-9_]*)=\"((?:[^\"\\\n]|\\[\\\"n])*)\"")
+
+
+def _unescape_label(raw: str) -> str:
+    out, i = [], 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            nxt = raw[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_exposition(text: str):
+    """Parse exposition text strictly; returns (samples, helps, types)."""
+    samples, helps, types = [], {}, {}
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, doc = line[len("# HELP "):].partition(" ")
+            assert "\n" not in doc
+            helps[name] = doc
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            assert kind in ("counter", "gauge", "histogram", "summary"), line
+            types[name] = kind
+            continue
+        m = _STRICT_SAMPLE.match(line)
+        assert m, f"malformed exposition line: {line!r}"
+        labels = {
+            k: _unescape_label(v)
+            for k, v in _STRICT_LABEL.findall(m.group("labels") or "")
+        }
+        samples.append((m.group("name"), labels, m.group("value")))
+    return samples, helps, types
+
+
+def _family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def test_escape_label_value_specials():
+    from repro.telemetry import escape_label_value
+
+    assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+    assert _unescape_label(escape_label_value('a\\b"c\nd')) == 'a\\b"c\nd'
+    assert escape_label_value("plain") == "plain"
+
+
+def test_registry_prometheus_conformance_round_trip():
+    reg = MetricsRegistry()
+    reg.incr("scheduler.bypass", 3)
+    reg.set_gauge("pool.memory-used", 42.5)
+    reg.enable_latency_histograms()
+    reg.record_invocation(
+        InvocationRecord(
+            function="f", arrival=0.0, outcome=Outcome.WARM,
+            exec_time=0.1, e2e_time=0.15, queue_time=0.02, overhead=0.05,
+        )
+    )
+    samples, helps, types = _parse_exposition(render_prometheus(reg))
+    assert samples
+    # Every sample belongs to a family with both # HELP and # TYPE.
+    for name, _, _ in samples:
+        family = _family(name)
+        assert family in types, name
+        assert family in helps, name
+    # Counter/gauge/histogram kinds land where expected.
+    assert types["repro_scheduler_bypass_total"] == "counter"
+    assert types["repro_pool_memory_used"] == "gauge"
+    assert types["repro_e2e_seconds"] == "histogram"
+
+
+def test_health_prometheus_conformance_and_label_escaping():
+    from repro.health import HealthConfig
+    from repro.telemetry import render_health_prometheus
+
+    weird = 'fn"one\\two\nthree.1'
+    config = HealthConfig(window=10.0, detectors=False)
+    collector = config.collector()
+    from repro.health import evaluate_health
+
+    collector.observe(weird, 1.0, completed=True, e2e_time=0.5,
+                      queue_time=0.1, overhead=0.2, worker="w-0")
+    collector.observe("plain.1", 2.0, completed=True, e2e_time=1.5)
+    report = evaluate_health(collector, config=config)
+    text = render_health_prometheus(report.health)
+    samples, helps, types = _parse_exposition(text)
+    for name, _, _ in samples:
+        assert name in types and name in helps, name
+    # The weird function name survives the escape/parse round trip.
+    fn_labels = {
+        labels["function"] for name, labels, _ in samples
+        if name == "repro_health_slo_violating_windows"
+    }
+    assert fn_labels == {weird, "plain.1"}
+    quantiles = {
+        labels["quantile"] for name, labels, _ in samples
+        if name == "repro_health_e2e_seconds"
+    }
+    assert quantiles == {"0.5", "0.9", "0.99"}
+    worker_samples = [
+        labels for name, labels, _ in samples
+        if name == "repro_health_queue_seconds"
+    ]
+    assert all(l["worker"] == "w-0" for l in worker_samples)
 
 
 # ------------------------------------------------------ run dirs + inspect
