@@ -115,7 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="design-choice ablations")
     ablation.add_argument(
         "--which",
-        choices=["queue", "bypass", "regulator", "coldpath", "lb", "all"],
+        choices=["queue", "bypass", "regulator", "coldpath", "lb", "dispatch",
+                 "all"],
         default="all",
     )
     hrc = sub.add_parser(
@@ -300,6 +301,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                     title="CH-BL bound factor"))
             out.append(format_table(run_lb_policy_comparison(n_jobs=args.jobs),
                                     title="LB policies"))
+        if which in ("dispatch", "all"):
+            from .experiments import run_dispatch_race
+
+            out.append(format_table(
+                run_dispatch_race(n_jobs=args.jobs),
+                title="Dispatch race (push CH-BL vs pull)",
+            ))
     elif args.command == "hrc":
         from .keepalive import hit_ratio_curve, recommend_cache_size
 

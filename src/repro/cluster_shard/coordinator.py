@@ -39,6 +39,7 @@ from typing import Generator, Optional, Sequence
 import numpy as np
 
 from ..core.config import WorkerConfig
+from ..dispatch.registry import is_pull_policy
 from ..loadbalancer.cluster import Cluster
 from ..loadbalancer.policies import StatusBoard, make_balancer
 from ..metrics.spans import SpanRecorder
@@ -295,6 +296,14 @@ def run_sharded_replay(
         raise ValueError(
             "sharded runs need rpc_latency > 0: the LB->worker dispatch "
             "latency is the lookahead that makes the epoch barrier safe"
+        )
+    if is_pull_policy(lb_policy):
+        # Checked again inside sync_indices; guarding here keeps the
+        # refusal independent of call ordering and before any shard setup.
+        raise ShardingUnavailable(
+            f"pull dispatch policy {lb_policy!r} claims from a shared "
+            "logical queue; the epoch seam carries no claim traffic, so "
+            "pull runs are serial-only"
         )
     import multiprocessing as mp
 
@@ -608,6 +617,7 @@ def run_sharded_replay(
             flight=flight_log,
             seam_stats=seam_stats,
             shards=num_shards,
+            dispatch_info={"policy": balancer.name, "kind": "push"},
         )
 
     if live_writer is not None:

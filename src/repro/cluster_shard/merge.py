@@ -130,8 +130,12 @@ class MergedTelemetry:
     """
 
     def __init__(self, config, worker_names, shard_parts, lb_spans, lb_loads,
-                 lb_traces=None, flight=None, seam_stats=None, shards=None):
+                 lb_traces=None, flight=None, seam_stats=None, shards=None,
+                 dispatch_info=None):
         self.config = config
+        # Same dict the serial Telemetry captures from the cluster, so
+        # serial and sharded summary.json stay byte-identical.
+        self.dispatch_info = dispatch_info
         self.worker_names = list(worker_names)
         self._parts: list[ShardTelemetryParts] = list(shard_parts or [])
         # The LB emits pick/rpc spans in arrival order, which is *not*
@@ -239,6 +243,7 @@ class MergedTelemetry:
             list(self.iter_records()),
             self.merged_metrics(),
             list(self.iter_breakdowns()),
+            dispatch=self.dispatch_info,
         )
 
     def export(self, run_dir: Union[str, Path]) -> dict[str, Path]:

@@ -66,6 +66,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..dispatch.registry import PULL_POLICIES
 from ..loadbalancer.policies import snap_to_grid
 
 __all__ = [
@@ -178,7 +179,19 @@ def sync_indices(
     inside one epoch are handled (duplicates never re-sync: their delta
     to the epoch floor is unchanged).
     """
-    if lb_policy.lower() not in LOAD_POLICIES:
+    key = lb_policy.lower()
+    if key in PULL_POLICIES:
+        # Pull dispatch claims from one shared logical queue: every claim
+        # is a cross-shard interaction, so the conservative-epoch seam
+        # (which only carries dispatch and load-read traffic) cannot
+        # replay it.  Refuse loudly rather than stream unsynchronized —
+        # callers catch this and fall back to the single-process engine.
+        raise ShardingUnavailable(
+            f"pull dispatch policy {lb_policy!r} claims from a shared "
+            "logical queue; the epoch seam carries no claim traffic, so "
+            "pull runs are serial-only"
+        )
+    if key not in LOAD_POLICIES:
         return frozenset()
     ts = np.asarray(timestamps, dtype=np.float64)
     n = int(ts.size)

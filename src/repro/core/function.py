@@ -91,6 +91,12 @@ class Invocation:
     drop_reason: Optional[str] = None
     timed_out: bool = False
     worker: Optional[str] = None
+    # Pull dispatch: when a worker claimed this invocation from the shared
+    # logical queue, ``offered_at`` is the submit time (and equals
+    # ``arrival``, so e2e/overhead include the claim wait) and
+    # ``claimed_at`` is when the worker received it.  Push leaves both None.
+    offered_at: Optional[float] = None
+    claimed_at: Optional[float] = None
 
     @property
     def queue_time(self) -> float:

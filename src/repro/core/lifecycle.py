@@ -227,6 +227,11 @@ class StageTracker:
         self.hooks = StageHooks()
         self.keep_contexts = False
         self.contexts: list[InvocationContext] = []
+        # Dispatch-layer completion seam (StageHooks-adjacent): when a
+        # pull engine drives this tracker it registers itself here and
+        # close() notifies it for *every* terminal outcome — complete,
+        # drop, and timeout — so claim slots can never leak.
+        self.dispatch_seam = None
 
     def open(
         self, inv: Invocation, done: Event, tag: Optional[str] = None
@@ -258,6 +263,9 @@ class StageTracker:
     def close(self, ctx: InvocationContext, outcome: Outcome) -> None:
         """Record the terminal outcome and retain the context if asked."""
         ctx.outcome = outcome
+        seam = self.dispatch_seam
+        if seam is not None:
+            seam.on_complete(ctx)
         if ctx.collect:
             self.contexts.append(ctx)
 
@@ -393,6 +401,20 @@ class InvocationLifecycle(StageTracker):
         tag = ctx.tag
         collect = ctx.collect
         self.stage_enter(ctx, ADMIT)
+
+        offered = inv.offered_at
+        if offered is not None:
+            # Pull dispatch: the wait between the offer landing on the
+            # shared queue and a worker claiming it is control-plane
+            # time — surface it as its own span/interval so the overhead
+            # decomposition can attribute it (a "claim_wait" phase).
+            claimed = inv.claimed_at
+            spans.record_span("claim_wait", offered, claimed, tag)
+            if collect:
+                ctx.intervals.append(("claim_wait", offered, claimed))
+            metrics = self.metrics
+            if metrics.latency_histograms_enabled:
+                metrics.observe("claim_wait_seconds", claimed - offered)
 
         if collect:
             start = env.now

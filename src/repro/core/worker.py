@@ -185,7 +185,8 @@ class Worker:
         return inv
 
     def async_invoke(
-        self, fqdn: str, args=None, *, invocation_id: Optional[int] = None
+        self, fqdn: str, args=None, *, invocation_id: Optional[int] = None,
+        offered_at: Optional[float] = None,
     ) -> Event:
         """Fire an invocation; returns an event that succeeds with the
         completed :class:`Invocation` (dropped invocations also complete,
@@ -195,18 +196,28 @@ class Worker:
         process-global counter — the cluster-shard coordinator assigns
         arrival-ordered ids so sharded runs reproduce single-process
         records; normal callers leave it unset.
+
+        ``offered_at`` marks a pull-dispatch claim: the invocation was
+        offered to the cluster queue at that (earlier) time, so it becomes
+        the arrival — end-to-end latency then charges the claim wait to
+        the control plane, and the lifecycle attributes it as an explicit
+        ``claim_wait`` interval.
         """
         registration = self._lookup(fqdn)
         done = self.env.event()
+        arrival = self.env.now if offered_at is None else offered_at
         if invocation_id is None:
-            inv = Invocation(function=registration, arrival=self.env.now, args=args)
+            inv = Invocation(function=registration, arrival=arrival, args=args)
         else:
             inv = Invocation(
                 function=registration,
-                arrival=self.env.now,
+                arrival=arrival,
                 args=args,
                 id=invocation_id,
             )
+        if offered_at is not None:
+            inv.offered_at = offered_at
+            inv.claimed_at = self.env.now
         self.env.process(
             self.lifecycle.ingest(inv, done), name=f"ingest-{inv.id}"
         )

@@ -1,0 +1,61 @@
+"""Push dispatch: the classic pick-then-forward shape as a thin adapter.
+
+The existing balancers (round-robin, least-loaded, CH-BL) already *are*
+push policies; this adapter re-expresses them behind the
+:class:`~repro.dispatch.base.DispatchPolicy` contract without changing a
+single decision.  The wrapped balancer stays reachable as ``.balancer``
+on purpose: the serial cluster keeps calling ``balancer.pick()`` through
+the historical statement sequence, which is what keeps pre-refactor runs
+bit-for-bit identical (the golden A/B fixture pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import PUSH, DispatchPolicy, Offer
+
+__all__ = ["PushDispatch"]
+
+
+class PushDispatch(DispatchPolicy):
+    """Adapter wrapping a ``LoadBalancingPolicy``-shaped balancer.
+
+    The balancer is duck-typed: anything with ``add_worker`` /
+    ``remove_worker`` / ``pick`` and a ``name`` works, so this module
+    never imports the loadbalancer package (no import cycle, and the
+    dispatch layer stays self-contained).
+    """
+
+    kind = PUSH
+
+    def __init__(self, balancer):
+        self.balancer = balancer
+        self.name = balancer.name
+
+    def add_worker(self, name: str) -> None:
+        self.balancer.add_worker(name)
+
+    def remove_worker(self, name: str) -> None:
+        self.balancer.remove_worker(name)
+
+    def pick(self, fqdn: str) -> str:
+        return self.balancer.pick(fqdn)
+
+    def offer(self, offer: Offer) -> Optional[str]:
+        # Push places at offer time: the decision *is* the pick.
+        target = self.balancer.pick(offer.fqdn)
+        offer.claimed_at = offer.offered_at
+        offer.claimed_by = target
+        return target
+
+    def claim(self, worker: str) -> Optional[Offer]:
+        # Push workers are assigned work; they never ask for it.
+        return None
+
+    def on_complete(self, worker: str, offer: Optional[Offer]) -> None:
+        return None
+
+    @property
+    def forwards(self) -> int:
+        return getattr(self.balancer, "forwards", 0)

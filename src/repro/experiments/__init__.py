@@ -8,7 +8,12 @@ from .fig6_litmus import LITMUS_WORKLOADS, fig6_rows, litmus_plan, run_litmus
 from .fig7_faasbench import fig7_rows, run_faasbench, warm_hit_ratios
 from .fig8_dynamic import DynamicSizingOutcome, run_fig8
 from .keepalive_sweep import fig4_rows, fig5_rows, make_traces, run_keepalive_sweep
-from .lb_ablation import run_lb_ablation, run_lb_policy_comparison
+from .lb_ablation import (
+    DISPATCH_RACE_SCENARIOS,
+    run_dispatch_race,
+    run_lb_ablation,
+    run_lb_policy_comparison,
+)
 from .queue_ablation import (
     run_bypass_ablation,
     run_coldpath_ablation,
@@ -46,6 +51,8 @@ __all__ = [
     "fig5_rows",
     "make_traces",
     "run_keepalive_sweep",
+    "DISPATCH_RACE_SCENARIOS",
+    "run_dispatch_race",
     "run_lb_ablation",
     "run_lb_policy_comparison",
     "run_bypass_ablation",

@@ -1,9 +1,16 @@
-"""A cluster: several workers behind the CH-BL load balancer.
+"""A cluster: several workers behind a pluggable dispatch policy.
 
 The cluster front end exposes the same invocation surface as a single
 worker (the worker API is deliberately a subset of the overall API, per
 the paper), so experiments and load generators can target either.
 Registrations are broadcast to every worker; placement is per-invocation.
+
+Placement itself is delegated to :mod:`repro.dispatch`.  Push policies
+(CH-BL, round-robin, least-loaded) keep the historical pick-then-forward
+invoke path — statement for statement, so pre-refactor runs stay
+bit-for-bit identical — while pull policies route through a
+:class:`~repro.dispatch.engine.PullEngine` whose per-worker claim loops
+drain a shared logical queue.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Optional, Sequence
 from ..core.config import WorkerConfig
 from ..core.function import FunctionRegistration
 from ..core.worker import Worker
+from ..dispatch import PullEngine, make_dispatch
 from ..errors import FunctionNotRegistered
 from ..metrics.spans import SpanRecorder
 from ..sim.core import Environment, Event
@@ -26,9 +34,13 @@ __all__ = ["Cluster"]
 class Cluster:
     """A load-balanced pool of Ilúvatar workers (CH-BL by default).
 
-    ``lb_policy`` selects the balancing scheme ("ch_bl", "round_robin",
-    "least_loaded"); ``status_interval`` makes load decisions act on
-    periodic status snapshots instead of live state (None = live).
+    ``lb_policy`` selects the dispatch scheme: push ("ch_bl",
+    "round_robin", "least_loaded") or pull ("pull", "pull_local");
+    ``status_interval`` makes push load decisions act on periodic status
+    snapshots instead of live state (None = live); ``claim_latency`` is
+    the pull queue round-trip cost (None = reuse ``rpc_latency``);
+    ``worker_configs_override`` supplies explicit per-worker configs
+    (heterogeneous clusters) in place of the ones derived from ``config``.
     """
 
     def __init__(
@@ -40,6 +52,8 @@ class Cluster:
         rpc_latency: float = 0.0005,
         lb_policy: str = "ch_bl",
         status_interval: Optional[float] = None,
+        claim_latency: Optional[float] = None,
+        worker_configs_override: Optional[Sequence[WorkerConfig]] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -48,19 +62,40 @@ class Cluster:
         self.env = env
         base = config or WorkerConfig()
         self.workers: dict[str, Worker] = {}
-        for cfg in self.worker_configs(base, num_workers):
+        cfgs = (list(worker_configs_override) if worker_configs_override
+                else self.worker_configs(base, num_workers))
+        for cfg in cfgs:
             self.workers[cfg.name] = Worker(env, cfg)
         self.status_board = StatusBoard(
             clock=lambda: env.now,
             live_load_fn=self._worker_load,
             interval=status_interval,
         )
-        self.balancer = make_balancer(
-            lb_policy, self.status_board.load, bound_factor=bound_factor
+        self.dispatch = make_dispatch(
+            lb_policy,
+            env=env,
+            load_fn=self.status_board.load,
+            bound_factor=bound_factor,
+            warm_fn=self._worker_warm,
         )
         for name in self.workers:
-            self.balancer.add_worker(name)
+            self.dispatch.add_worker(name)
         self.rpc_latency = float(rpc_latency)
+        if self.dispatch.kind == "pull":
+            self.balancer = None
+            self._pull = PullEngine(
+                env,
+                self.workers,
+                self.dispatch,
+                claim_latency=(self.rpc_latency if claim_latency is None
+                               else float(claim_latency)),
+                on_claim=self._count_claim,
+            )
+        else:
+            # The adapter's wrapped balancer keeps the historical pick
+            # call sequence on the invoke path (golden-fixture pinned).
+            self.balancer = self.dispatch.balancer
+            self._pull = None
         self.registrations: dict[str, FunctionRegistration] = {}
         self.placements = 0
         # LB-level spans (placement decisions, RPC hops) share the workers'
@@ -87,10 +122,18 @@ class Cluster:
         w = self.workers[name]
         return len(w.queue) + w.load.running
 
+    def _worker_warm(self, name: str, fqdn: str) -> bool:
+        return self.workers[name].pool.has_available(fqdn)
+
+    def _count_claim(self, offer) -> None:
+        self.placements += 1
+
     # ---------------------------------------------------------------- API
     def start(self) -> None:
         for w in self.workers.values():
             w.start()
+        if self._pull is not None:
+            self._pull.start()
 
     def stop(self) -> None:
         for w in self.workers.values():
@@ -107,6 +150,8 @@ class Cluster:
     def async_invoke(self, fqdn: str, args=None) -> Event:
         if fqdn not in self.registrations:
             raise FunctionNotRegistered(fqdn)
+        if self._pull is not None:
+            return self._pull.submit(fqdn, args)
         spans = self.spans
         tracer = self.tracer
         pick_t = self.env.now if tracer is not None else 0.0
@@ -155,11 +200,18 @@ class Cluster:
         ``telemetry.attach_cluster(self)``."""
         telemetry.attach_cluster(self)
 
+    def dispatch_info(self) -> dict:
+        """Summary-stable description of the active dispatch policy."""
+        info = {"policy": self.dispatch.name, "kind": self.dispatch.kind}
+        if self._pull is not None:
+            info["claim_latency"] = self._pull.claim_latency
+        return info
+
     # -------------------------------------------------------------- status
     def status(self) -> dict:
         return {
             "workers": {name: w.status() for name, w in self.workers.items()},
-            "policy": self.balancer.name,
+            "policy": self.dispatch.name,
             "forwards": getattr(self.balancer, "forwards", 0),
             "placements": self.placements,
         }

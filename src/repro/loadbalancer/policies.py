@@ -80,6 +80,8 @@ class RoundRobinBalancer(LoadBalancingPolicy):
         self._workers.append(name)
 
     def remove_worker(self, name: str) -> None:
+        if name not in self._workers:
+            raise ValueError(f"worker {name!r} not registered")
         self._workers.remove(name)
 
     def pick(self, fqdn: str) -> str:
@@ -103,6 +105,8 @@ class LeastLoadedBalancer(LoadBalancingPolicy):
         self._workers.append(name)
 
     def remove_worker(self, name: str) -> None:
+        if name not in self._workers:
+            raise ValueError(f"worker {name!r} not registered")
         self._workers.remove(name)
 
     def pick(self, fqdn: str) -> str:
@@ -133,6 +137,10 @@ class CHBLPolicy(LoadBalancingPolicy):
         self._inner.add_worker(name)
 
     def remove_worker(self, name: str) -> None:
+        # Uniform error contract across every policy (the ring's own
+        # message talks about "members", which leaks the implementation).
+        if name not in self._inner.ring.members():
+            raise ValueError(f"worker {name!r} not registered")
         self._inner.remove_worker(name)
 
     def pick(self, fqdn: str) -> str:
@@ -208,7 +216,14 @@ def make_balancer(
         "round_robin": RoundRobinBalancer,
         "least_loaded": lambda: LeastLoadedBalancer(load_fn),
     }
-    ctor = table.get(name.lower())
+    key = str(name).lower()
+    ctor = table.get(key)
     if ctor is None:
+        if key in ("pull", "pull_local"):
+            raise ValueError(
+                f"{name!r} is a pull dispatch policy, not a push balancer; "
+                f"build it via repro.dispatch.make_dispatch (push balancers: "
+                f"{sorted(table)})"
+            )
         raise ValueError(f"unknown balancer {name!r}; choose from {sorted(table)}")
     return ctor()

@@ -25,6 +25,7 @@ __all__ = [
     "queue_policy_cell",
     "lb_bound_cell",
     "lb_policy_cell",
+    "dispatch_race_cell",
     "cluster_study_cell",
 ]
 
@@ -81,6 +82,16 @@ def lb_policy_cell(
     from ..experiments.lb_ablation import _lb_policy_row
 
     return _lb_policy_row(policy, num_workers, duration, seed)
+
+
+def dispatch_race_cell(
+    shared: Any, policy: str, scenario: str, num_workers: int,
+    duration: float, seed: int
+):
+    """One push-vs-pull dispatch race cell."""
+    from ..experiments.lb_ablation import _dispatch_race_row
+
+    return _dispatch_race_row(policy, scenario, num_workers, duration, seed)
 
 
 def cluster_study_cell(

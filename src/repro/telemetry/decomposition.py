@@ -24,6 +24,13 @@ into phases:
 * ``other``       — any spans outside the canonical mapping (forward
                     compatibility; normally zero).
 
+Pull-dispatch runs add one conditional phase, ``claim_wait`` — the time
+an offer sat on the shared logical queue before a worker claimed it.
+It is deliberately *not* part of :data:`PHASES`: push runs never emit
+the span, their breakdowns carry exactly the canonical six keys, and
+the golden fixture stays byte-stable.  Aggregations include the extra
+phase only when at least one breakdown carries it.
+
 Per invocation, the phase durations plus the queue-wait gap telescope to
 exactly the recorded end-to-end time minus the execution window, so the
 phase sum equals the invocation's recorded ``overhead`` up to float
@@ -41,6 +48,7 @@ from ..metrics.spans import Span
 
 __all__ = [
     "PHASES",
+    "CLAIM_WAIT_PHASE",
     "PHASE_OF_SPAN",
     "EXEC_SPAN",
     "InvocationBreakdown",
@@ -55,7 +63,11 @@ EXEC_SPAN = "exec"
 
 PHASES = ("queue", "acquire", "cold_create", "exec_comm", "post", "other")
 
+# Conditional phase: present only in pull-dispatch runs (see module doc).
+CLAIM_WAIT_PHASE = "claim_wait"
+
 PHASE_OF_SPAN: dict[str, str] = {
+    "claim_wait": CLAIM_WAIT_PHASE,
     "invoke": "queue",
     "sync_invoke": "queue",
     "enqueue_invocation": "queue",
@@ -120,7 +132,11 @@ def _breakdown(tag: str, intervals: Sequence[tuple]) -> Optional[InvocationBreak
             continue
         if name == "cold_create":
             cold = True
-        phases[PHASE_OF_SPAN.get(name, "other")] += end - start
+        phase = PHASE_OF_SPAN.get(name, "other")
+        bucket = phases.get(phase)
+        # Conditional phases (claim_wait) materialize on first use; the
+        # canonical six accumulate in place, float-order unchanged.
+        phases[phase] = (end - start) if bucket is None else bucket + (end - start)
         if name == "add_item_to_q":
             add_item_end = end
         elif name == "dequeue":
@@ -188,15 +204,25 @@ def decompose_contexts(contexts: Iterable) -> list[InvocationBreakdown]:
     return out
 
 
+def _phase_names(breakdowns: Sequence[InvocationBreakdown]) -> tuple[str, ...]:
+    """Canonical phases, plus ``claim_wait`` when any breakdown has it."""
+    if any(CLAIM_WAIT_PHASE in b.phases for b in breakdowns):
+        return PHASES + (CLAIM_WAIT_PHASE,)
+    return PHASES
+
+
 def aggregate_phases(breakdowns: Sequence[InvocationBreakdown]) -> dict[str, dict]:
     """Per-phase statistics over a run: mean / p99 / total / share of
     overhead (share in [0, 1])."""
     if not breakdowns:
         return {}
-    totals = {p: np.array([b.phases[p] for b in breakdowns]) for p in PHASES}
+    names = _phase_names(breakdowns)
+    totals = {
+        p: np.array([b.phases.get(p, 0.0) for b in breakdowns]) for p in names
+    }
     grand_total = float(sum(arr.sum() for arr in totals.values()))
     out: dict[str, dict] = {}
-    for p in PHASES:
+    for p in names:
         arr = totals[p]
         total = float(arr.sum())
         out[p] = {
@@ -221,7 +247,7 @@ def breakdown_rows(
             "p99": stats[p]["p99"] * scale,
             "share_pct": stats[p]["share"] * 100.0,
         }
-        for p in PHASES
+        for p in PHASES + (CLAIM_WAIT_PHASE,)
         if p in stats
     ]
     if rows:

@@ -172,6 +172,7 @@ def build_summary(
     records: list,
     merged: MetricsRegistry,
     breakdowns: list,
+    dispatch: Optional[dict] = None,
 ) -> dict:
     """The ``summary.json`` structure from already-merged run parts."""
     outcomes: dict[str, int] = {}
@@ -189,7 +190,7 @@ def build_summary(
     health = getattr(config, "health", None)
     if health is not None:
         cfg["health"] = health.describe()
-    return {
+    out = {
         "config": cfg,
         "workers": list(worker_names),
         "samples": samples,
@@ -206,6 +207,12 @@ def build_summary(
             "rows": breakdown_rows(breakdowns),
         },
     }
+    # Only present for cluster runs (the telemetry pipeline learned the
+    # active policy from attach_cluster); worker-only runs and run dirs
+    # from before the dispatch layer simply lack the key.
+    if dispatch is not None:
+        out["dispatch"] = dict(dispatch)
+    return out
 
 
 def build_manifest(
@@ -273,6 +280,9 @@ class Telemetry:
         self.health = None
         if self.config.health is not None:
             self.health = self.config.health.collector()
+        # Active dispatch policy description; set by attach_cluster
+        # (worker-only pipelines have no placement layer to describe).
+        self.dispatch_info = None
         self._live_writer = None
         self._live_running = False
 
@@ -310,6 +320,9 @@ class Telemetry:
             )
         # Record the load values the balancer actually acted on.
         cluster.status_board.publish = self.sampler.record_lb_load
+        info = getattr(cluster, "dispatch_info", None)
+        if info is not None:
+            self.dispatch_info = info()
 
     def start(self) -> None:
         self.sampler.start()
@@ -477,6 +490,7 @@ class Telemetry:
             self.records(),
             self.merged_metrics(),
             self.breakdowns(),
+            dispatch=self.dispatch_info,
         )
 
 
@@ -600,6 +614,26 @@ def inspect_report(run_dir: Union[str, Path]) -> str:
                 ("p50", "p50"), ("p90", "p90"), ("p99", "p99"),
             ]))
             lines.append("")
+
+    # Dispatch section: silently absent for run dirs that predate the
+    # dispatch layer or never attached a cluster (worker-only pipelines).
+    dispatch = (summary or {}).get("dispatch")
+    if dispatch:
+        line = (
+            f"dispatch: policy={dispatch.get('policy')}  "
+            f"kind={dispatch.get('kind')}"
+        )
+        if "claim_latency" in dispatch:
+            line += f"  claim_latency={dispatch['claim_latency']}s"
+        lines.append(line)
+        claim = (summary or {}).get("histograms", {}).get("claim_wait_seconds")
+        if claim:
+            lines.append(
+                "claim wait (seconds): "
+                f"count={claim.get('count')}  mean={claim.get('mean'):.6f}  "
+                f"p50={claim.get('p50'):.6f}  p99={claim.get('p99'):.6f}"
+            )
+        lines.append("")
 
     # Recompute the decomposition from the spans on disk so inspect works
     # even on directories whose summary predates this report format.

@@ -6,7 +6,8 @@ The repo's architecture is a strict layering (ROADMAP / DESIGN):
       ← metrics, cache, trace, parallel,
         containers, queueing, keepalive           (1: mechanisms)
       ← core, workloads, loadgen                  (2: control plane)
-      ← loadbalancer, baselines, provisioning     (3: cluster layer)
+      ← dispatch, loadbalancer, baselines,
+        provisioning                              (3: cluster layer)
       ← experiments, telemetry, cluster_shard,
         cli, profile                              (4: harness)
 
@@ -49,6 +50,7 @@ LAYERS = {
     "workloads": 2,
     "loadgen": 2,
     # 3: cluster layer
+    "dispatch": 3,
     "loadbalancer": 3,
     "baselines": 3,
     "provisioning": 3,
@@ -153,6 +155,47 @@ def test_every_package_has_a_layer():
 def test_imports_respect_layering():
     violations = collect_violations()
     assert not violations, "\n".join(["layering violations:"] + violations)
+
+
+def all_imports(tree: ast.Module):
+    """Yield every import's dotted target, *including* in-function ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            yield node, None
+
+
+def test_loadbalancer_never_imports_cluster_shard():
+    """The LB/dispatch layers must stay runnable without the shard engine.
+
+    Stricter than the generic guard: even deferred (in-function) imports
+    are forbidden here — the shard engine imports the cluster, so any
+    back-edge, however late-bound, would couple the placement layer to
+    the multiprocess harness.
+    """
+    offenders = []
+    for package in ("loadbalancer", "dispatch"):
+        for path in sorted((SRC / package).rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node, dotted in all_imports(tree):
+                if isinstance(node, ast.ImportFrom):
+                    if node.level > 0:
+                        target = resolve_relative(path, node)
+                    elif node.module and node.module.startswith("repro"):
+                        target = node.module.removeprefix("repro").lstrip(".")
+                    else:
+                        continue
+                else:
+                    if not dotted.startswith("repro"):
+                        continue
+                    target = dotted.removeprefix("repro").lstrip(".")
+                if target.split(".")[0] == "cluster_shard":
+                    offenders.append(f"{path.relative_to(SRC)}:{node.lineno}")
+    assert not offenders, (
+        f"loadbalancer/dispatch must not import cluster_shard: {offenders}"
+    )
 
 
 def test_exemptions_are_minimal():
